@@ -1,0 +1,19 @@
+"""Shared benchmark helpers.
+
+These benchmarks are macro-benchmarks: each regenerates one paper
+table/figure at the ``tiny`` size preset.  They run one round (the
+simulations are deterministic, so repetition only measures Python noise)
+and assert the figure's qualitative shape on the produced rows.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the substrates themselves.
+
+These track the simulator's own performance (event rate, DRAM model
+throughput, packet codec, CRC) and check the paper's Sec. IV-B claim that
+the min-cost max-flow placement solves 64 threads x 16 DIMMs in
+milliseconds.
+"""
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.dram.module import DRAMModule
+from repro.dram.timing import DDR4_2400_LRDIMM
+from repro.mapping.placement import distance_aware_placement
+from repro.protocol.crc import crc32
+from repro.protocol.packet import Command, Packet
+from repro.sim import Simulator, StatRegistry
+
+
+def test_engine_event_rate(benchmark):
+    """Raw event throughput of the simulation kernel."""
+
+    def drive():
+        sim = Simulator()
+
+        def ping(_):
+            if sim.now < 1_000_000:
+                sim.schedule(10, ping)
+
+        for _ in range(16):
+            sim.schedule(0, ping)
+        sim.run()
+        return sim.now
+
+    assert benchmark(drive) == 1_000_000
+
+
+def test_dram_line_access_rate(benchmark):
+    """Per-line DRAM model cost (bank FSM + refresh + bus arithmetic)."""
+
+    def drive():
+        sim = Simulator()
+        dram = DRAMModule(sim, DDR4_2400_LRDIMM, 2, StatRegistry())
+        for line in range(2000):
+            dram.access(line * 64, 64, is_write=False)
+        sim.run()
+        return sim.now
+
+    assert benchmark(drive) > 0
+
+
+def test_packet_codec_throughput(benchmark):
+    """Encode+decode of a max-payload packet."""
+    packet = Packet(src=1, dst=2, cmd=Command.WRITE_REQ, payload=b"\xab" * 256)
+
+    def codec():
+        return Packet.decode(packet.encode())
+
+    decoded = benchmark(codec)
+    assert decoded.payload == packet.payload
+
+
+def test_crc32_throughput(benchmark):
+    """From-scratch CRC-32 over a 4 KiB buffer."""
+    data = bytes(range(256)) * 16
+
+    def compute():
+        return crc32(data)
+
+    import zlib
+
+    assert benchmark(compute) == zlib.crc32(data)
+
+
+def test_mcmf_placement_speed(benchmark):
+    """Algorithm 1 at paper scale: 64 threads x 16 DIMMs (paper: ~2 ms)."""
+    rng = np.random.default_rng(42)
+    traffic = rng.integers(0, 1 << 20, size=(64, 16)).astype(float)
+    config = SystemConfig.named("16D-8C")
+
+    placement = benchmark(distance_aware_placement, traffic, config)
+    assert len(placement) == 64
+    assert max(placement.count(d) for d in range(16)) <= 4
+
+
+def test_end_to_end_kernel_rate(benchmark):
+    """Whole-stack simulation speed: one tiny PageRank on DIMM-Link."""
+    from repro.experiments.common import build_workload, run_nmp
+
+    workload = build_workload("pagerank", "tiny")
+
+    def drive():
+        return run_nmp(SystemConfig.named("8D-4C"), workload, "dimm_link").time_ps
+
+    assert benchmark(drive) > 0

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Broadcast-dominant SpMV across broadcast-capable mechanisms (Fig. 12).
+
+Iterative y = A x where the x-vector is re-published to every DIMM each
+iteration.  Compares MCN-BC (host read + per-DIMM writes), ABC-DIMM
+(one broadcast-write per channel), AIM-BC (single snooped bus transfer),
+and DIMM-Link (group floods + one host forward per remote group).
+
+Run:  python examples/broadcast_spmv.py [size]
+"""
+
+import sys
+
+from repro import SystemConfig, build_workload, run_nmp
+from repro.analysis import format_table
+
+LABELS = {
+    "mcn": "MCN-BC",
+    "abc": "ABC-DIMM",
+    "aim": "AIM-BC",
+    "dimm_link": "DIMM-Link",
+}
+
+
+def main(size: str = "small") -> None:
+    workload = build_workload("spmv_bc", size)
+    print(f"broadcast SpMV (size={size}), speedups over MCN-BC\n")
+    rows = []
+    for dpc_label, config_name in (("2 DIMMs/channel", "16D-8C"),
+                                   ("3 DIMMs/channel", "12D-4C")):
+        results = {
+            mech: run_nmp(SystemConfig.named(config_name), workload, mech)
+            for mech in LABELS
+        }
+        base = results["mcn"].total_ps
+        for mech, result in results.items():
+            rows.append(
+                (
+                    dpc_label,
+                    LABELS[mech],
+                    result.total_ps / 1e6,
+                    base / result.total_ps,
+                )
+            )
+    print(format_table(["system", "mechanism", "time (us)", "speedup"], rows, precision=2))
+    print(
+        "\nreading: AIM-BC's ideal multi-drop bus wins on paper but is "
+        "impractical for\nDDR4/DDR5 signal integrity; DIMM-Link gets most of "
+        "the benefit with only\npoint-to-point links (paper Sec. V-C, Fig. 12)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

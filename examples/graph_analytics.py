@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Graph analytics across every IDC mechanism (the paper's motivation).
+
+Runs BFS and PageRank on the same partitioned R-MAT graph under all four
+inter-DIMM communication mechanisms plus the CPU baseline, and prints the
+Fig. 10-style comparison: who wins, the non-overlapped IDC stall share,
+and how much traffic each mechanism pushes through the host.
+
+Run:  python examples/graph_analytics.py [size]
+"""
+
+import sys
+
+from repro import SystemConfig, build_workload, run_cpu, run_nmp, run_optimized
+from repro.analysis import format_table
+
+
+def main(size: str = "small") -> None:
+    config_name = "16D-8C"
+    rows = []
+    for workload_name in ("bfs", "pagerank"):
+        workload = build_workload(workload_name, size)
+        cpu = run_cpu(SystemConfig.named(config_name), workload)
+        systems = {
+            "CPU (16-core)": cpu,
+            "MCN (CPU-fwd)": run_nmp(SystemConfig.named(config_name), workload, "mcn"),
+            "AIM (ded. bus)": run_nmp(SystemConfig.named(config_name), workload, "aim"),
+            "DIMM-Link": run_nmp(SystemConfig.named(config_name), workload, "dimm_link"),
+            "DIMM-Link-opt": run_optimized(SystemConfig.named(config_name), workload),
+        }
+        for label, result in systems.items():
+            rows.append(
+                (
+                    workload_name,
+                    label,
+                    result.total_ps / 1e6,
+                    cpu.total_ps / result.total_ps,
+                    result.nonoverlapped_idc_ratio,
+                    result.forwarded_fraction,
+                )
+            )
+    print(f"graph analytics on {config_name} (size={size})\n")
+    print(
+        format_table(
+            ["workload", "system", "time (us)", "speedup", "IDC stall", "host-fwd share"],
+            rows,
+            precision=2,
+        )
+    )
+    print(
+        "\nreading: DIMM-Link routes most inter-DIMM traffic over its "
+        "bridge links,\nso its host-forwarded share and IDC stalls drop, "
+        "which is where the speedup\nover MCN/AIM comes from (paper Sec. V-C)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

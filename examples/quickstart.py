@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run one kernel on a DIMM-Link NMP system.
+
+Builds the paper's 16-DIMM / 8-channel machine, runs PageRank on the
+16-core CPU baseline and on DIMM-Link (with distance-aware task mapping),
+and prints the speedup plus where the bytes went.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, build_workload, run_cpu, run_optimized
+from repro.energy import energy_report
+
+
+def main() -> None:
+    config = SystemConfig.named("16D-8C")
+    workload = build_workload("pagerank", size="small")
+
+    print(f"system: {config.name} "
+          f"({config.num_dimms} DIMMs x {config.nmp.cores_per_dimm} NMP cores, "
+          f"{config.num_channels} channels, groups {config.groups})")
+    print(f"workload: {workload.name} on an R-MAT graph "
+          f"({workload.graph.num_vertices} vertices, {workload.graph.num_edges} edges)")
+
+    cpu = run_cpu(config, workload)
+    print(f"\n16-core CPU baseline: {cpu.time_us:9.1f} us")
+
+    dl = run_optimized(SystemConfig.named("16D-8C"), workload)
+    print(f"DIMM-Link (opt):      {dl.total_ps / 1e6:9.1f} us "
+          f"(incl. profiling) -> {cpu.total_ps / dl.total_ps:.2f}x speedup")
+
+    breakdown = dl.traffic_breakdown
+    total = sum(breakdown.values())
+    print("\nwhere the bytes went (Fig. 11 style):")
+    for path, nbytes in breakdown.items():
+        print(f"  {path:12s} {nbytes / 1e6:8.2f} MB  ({nbytes / total:5.1%})")
+    print(f"  IDC traffic forwarded via host CPU: {dl.forwarded_fraction:.1%} "
+          f"(paper: ~29%)")
+
+    energy = energy_report(dl, config, polling=dl.polling)
+    print("\nenergy breakdown:")
+    for category, joules in energy.as_dict().items():
+        print(f"  {category:11s} {joules * 1e6:9.2f} uJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one go.
+
+Equivalent to ``dimmlink-repro all --size small`` but kept as a runnable
+example of driving the experiment harnesses programmatically.  Takes
+roughly 15-30 minutes at the ``small`` preset on a laptop.
+
+Run:  python examples/reproduce_all.py [size]
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    fig01_idc_bandwidth,
+    fig10_p2p,
+    fig11_breakdown,
+    fig12_broadcast,
+    fig13_energy,
+    fig14_sync,
+    fig15_polling,
+    fig16_bandwidth,
+    fig17_topology,
+    mapping_ablation,
+    table1_bandwidth_model,
+    table2_serdes,
+)
+
+
+def main(size: str = "small") -> None:
+    unsized = (
+        ("Table I", table1_bandwidth_model.main),
+        ("Table II", table2_serdes.main),
+        ("Fig. 1", fig01_idc_bandwidth.main),
+        ("Fig. 14", fig14_sync.main),
+    )
+    sized = (
+        ("Fig. 10", fig10_p2p.main),
+        ("Fig. 11", fig11_breakdown.main),
+        ("Fig. 12", fig12_broadcast.main),
+        ("Fig. 13", fig13_energy.main),
+        ("Fig. 15", fig15_polling.main),
+        ("Fig. 16", fig16_bandwidth.main),
+        ("Fig. 17", fig17_topology.main),
+        ("Mapping ablation", mapping_ablation.main),
+    )
+    for label, runner in unsized:
+        start = time.time()
+        print(f"\n{'=' * 72}\n{label}\n{'=' * 72}")
+        runner()
+        print(f"[{label} done in {time.time() - start:.0f}s]")
+    for label, runner in sized:
+        start = time.time()
+        print(f"\n{'=' * 72}\n{label} (size={size})\n{'=' * 72}")
+        runner(size)
+        print(f"[{label} done in {time.time() - start:.0f}s]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

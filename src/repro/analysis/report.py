@@ -1,0 +1,50 @@
+"""Reporting helpers: geomeans, speedups, ASCII tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean needs positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups(baseline: Dict[str, float], candidate: Dict[str, float]) -> Dict[str, float]:
+    """Per-key baseline/candidate time ratios (higher = candidate faster)."""
+    missing = set(baseline) ^ set(candidate)
+    if missing:
+        raise ValueError(f"mismatched keys: {sorted(missing)}")
+    return {k: baseline[k] / candidate[k] for k in baseline}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width ASCII table (the benches' output format)."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    rendered: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

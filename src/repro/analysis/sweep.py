@@ -1,0 +1,58 @@
+"""Generic parameter-sweep runner.
+
+Experiments like Fig. 16 are sweeps of a single knob over a run function;
+this helper factors the pattern so ad-hoc studies (examples, notebooks)
+can reuse it: a :class:`Sweep` maps each parameter value to a result row
+and renders the outcome as a table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.analysis.report import format_table
+
+
+class Sweep:
+    """Run ``func(value)`` for every value of one named parameter."""
+
+    def __init__(
+        self,
+        parameter: str,
+        values: Iterable,
+        func: Callable[[object], Mapping[str, object]],
+    ) -> None:
+        self.parameter = parameter
+        self.values = list(values)
+        self.func = func
+        self.rows: List[Dict[str, object]] = []
+
+    def run(self) -> List[Dict[str, object]]:
+        """Execute the sweep; each row carries the parameter value."""
+        self.rows = []
+        for value in self.values:
+            row = dict(self.func(value))
+            row[self.parameter] = value
+            self.rows.append(row)
+        return self.rows
+
+    def column(self, name: str) -> List[object]:
+        """Extract one result column across the sweep."""
+        if not self.rows:
+            raise RuntimeError("sweep has not been run")
+        return [row[name] for row in self.rows]
+
+    def best(self, metric: str, maximize: bool = True):
+        """The parameter value optimising ``metric``."""
+        column = self.column(metric)
+        pick = max if maximize else min
+        index = column.index(pick(column))
+        return self.values[index]
+
+    def table(self, columns: Sequence[str]) -> str:
+        """Render selected columns (parameter first) as an ASCII table."""
+        headers = [self.parameter] + list(columns)
+        body = [
+            [row[self.parameter]] + [row[c] for c in columns] for row in self.rows
+        ]
+        return format_table(headers, body)

@@ -1,0 +1,233 @@
+"""The DIMM-Link IDC mechanism (the paper's contribution, Sec. III).
+
+Executes the hybrid-routing plans on the event simulator:
+
+* intra-group transfers move as DL packets over the group's bridge
+  network (packetize -> route -> decode -> local DRAM at the far end),
+* inter-group transfers are registered with the polling proxy (when the
+  polling strategy uses one), noticed by the host, and forwarded through
+  the memory channels by the FWD controller,
+* broadcasts flood the source group and are host-forwarded once per
+  remote group to that group's gateway (master) DIMM, which floods it on.
+
+Traffic is classified into ``idc.intra_group_bytes`` vs.
+``idc.forwarded_bytes`` for Fig. 11's breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.core.bridge import DLBridge
+from repro.core.controller import DLController
+from repro.core.routing import distance
+from repro.idc.base import IDCMechanism
+from repro.protocol.packet import FLIT_BYTES, wire_bytes_for_transfer
+from repro.sim.engine import AllOf, SimEvent
+
+#: wire size of a single-flit control packet (read request, sync message).
+CONTROL_WIRE_BYTES = FLIT_BYTES
+#: payload sizes at or above this stream through the bridge (pipelined)
+#: instead of store-and-forward per hop.
+STREAM_THRESHOLD = 2048
+
+
+class DIMMLinkIDC(IDCMechanism):
+    """DIMM-Link inter-DIMM communication."""
+
+    name = "dimm_link"
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        self.bridge = DLBridge(system.sim, system.config, system.stats)
+        self.controllers = [
+            DLController(d, system.stats.scope(f"dimm{d}"))
+            for d in range(system.config.num_dimms)
+        ]
+        self.sim = system.sim
+        self.stats = system.stats
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _dl_transfer(self, src: int, dst: int, wire_bytes: int) -> SimEvent:
+        if wire_bytes >= STREAM_THRESHOLD:
+            return self.bridge.stream(src, dst, wire_bytes)
+        return self.bridge.send(src, dst, wire_bytes)
+
+    def _register_at_proxy(self, src: int):
+        """Send the forwarding request to the group's polling proxy."""
+        polling = self._require_system().polling
+        if not getattr(polling, "uses_proxy", False):
+            return
+        proxy = polling.proxy_of(src)
+        if proxy != src:
+            yield self.bridge.send(src, proxy, CONTROL_WIRE_BYTES)
+        self.stats.add("idc.proxy_registrations")
+
+    # -- IDCMechanism ---------------------------------------------------------------
+
+    def remote_read(self, src_dimm, dst_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="dl.read")
+        if self.bridge.same_group(src_dimm, dst_dimm):
+            self.sim.process(
+                self._intra_read(src_dimm, dst_dimm, offset, nbytes, done),
+                name="dl.read",
+            )
+        else:
+            self.sim.process(
+                self._inter_read(system, src_dimm, dst_dimm, offset, nbytes, done),
+                name="dl.read.fwd",
+            )
+        return done
+
+    def _intra_read(self, src, dst, offset, nbytes, done: SimEvent):
+        src_ctl, dst_ctl = self.controllers[src], self.controllers[dst]
+        yield src_ctl.packetize_ps
+        src_ctl.packetize(0)
+        yield self.bridge.send(src, dst, CONTROL_WIRE_BYTES)
+        yield dst_ctl.decode_ps
+        yield self._require_system().dimms[dst].mc.local_access(offset, nbytes, False)
+        yield dst_ctl.packetize_ps
+        wire = dst_ctl.packetize(nbytes)
+        yield self._dl_transfer(dst, src, wire)
+        yield src_ctl.decode_ps
+        src_ctl.receive(nbytes)
+        self.stats.add("idc.intra_group_bytes", nbytes)
+        done.succeed(nbytes)
+
+    def _inter_read(self, system, src, dst, offset, nbytes, done: SimEvent):
+        src_ctl = self.controllers[src]
+        yield src_ctl.packetize_ps
+        src_ctl.packetize(0)
+        yield from self._register_at_proxy(src)
+        yield system.forwarder.forward(src, dst, CONTROL_WIRE_BYTES)
+        yield self.controllers[dst].decode_ps
+        yield system.dimms[dst].mc.local_access(offset, nbytes, False)
+        wire = self.controllers[dst].packetize(nbytes)
+        # the host expects the response after forwarding the request
+        yield system.forwarder.forward(dst, src, wire, notice_dimm=-1)
+        yield src_ctl.decode_ps
+        src_ctl.receive(nbytes)
+        self.stats.add("idc.forwarded_bytes", nbytes)
+        done.succeed(nbytes)
+
+    def remote_write(self, src_dimm, dst_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="dl.write")
+        if self.bridge.same_group(src_dimm, dst_dimm):
+            self.sim.process(
+                self._intra_write(src_dimm, dst_dimm, offset, nbytes, done),
+                name="dl.write",
+            )
+        else:
+            self.sim.process(
+                self._inter_write(system, src_dimm, dst_dimm, offset, nbytes, done),
+                name="dl.write.fwd",
+            )
+        return done
+
+    def _intra_write(self, src, dst, offset, nbytes, done: SimEvent):
+        src_ctl, dst_ctl = self.controllers[src], self.controllers[dst]
+        yield src_ctl.packetize_ps
+        wire = src_ctl.packetize(nbytes)
+        yield self._dl_transfer(src, dst, wire)
+        yield dst_ctl.decode_ps
+        dst_ctl.receive(nbytes)
+        yield self._require_system().dimms[dst].mc.local_access(offset, nbytes, True)
+        self.stats.add("idc.intra_group_bytes", nbytes)
+        done.succeed(nbytes)
+
+    def _inter_write(self, system, src, dst, offset, nbytes, done: SimEvent):
+        src_ctl = self.controllers[src]
+        yield src_ctl.packetize_ps
+        wire = src_ctl.packetize(nbytes)
+        yield from self._register_at_proxy(src)
+        yield system.forwarder.forward(src, dst, wire)
+        yield self.controllers[dst].decode_ps
+        self.controllers[dst].receive(nbytes)
+        yield system.dimms[dst].mc.local_access(offset, nbytes, True)
+        self.stats.add("idc.forwarded_bytes", nbytes)
+        done.succeed(nbytes)
+
+    def broadcast(self, src_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="dl.broadcast")
+        self.sim.process(
+            self._broadcast(system, src_dimm, offset, nbytes, done), name="dl.bc"
+        )
+        return done
+
+    def _flood_group(self, system, root, offset, nbytes):
+        """Flood the root's group, then receivers store the data locally."""
+        wire = wire_bytes_for_transfer(nbytes)
+        yield self.bridge.broadcast(root, wire)
+        group_index, _pos = self.bridge.locate(root)
+        writes = [
+            system.dimms[d].mc.local_access(offset, nbytes, True)
+            for d in system.config.groups[group_index]
+            if d != root
+        ]
+        self.stats.add(
+            "idc.intra_group_bytes",
+            nbytes * (len(system.config.groups[group_index]) - 1),
+        )
+        yield AllOf(writes)
+
+    def _broadcast(self, system, src, offset, nbytes, done: SimEvent):
+        yield self.controllers[src].packetize_ps
+        wire = self.controllers[src].packetize(nbytes)
+        branches = [
+            self.sim.process(
+                self._flood_group(system, src, offset, nbytes), name="dl.bc.home"
+            )
+        ]
+        gateways = [
+            system.config.master_dimm(g)
+            for g in range(len(system.config.groups))
+            if g != system.config.group_of(src)
+        ]
+        if gateways:
+            yield from self._register_at_proxy(src)
+
+        def to_group(gateway, first):
+            yield system.forwarder.forward(
+                src, gateway, wire, notice_dimm=None if first else -1
+            )
+            self.stats.add("idc.forwarded_bytes", nbytes)
+            yield self.controllers[gateway].decode_ps
+            yield system.dimms[gateway].mc.local_access(offset, nbytes, True)
+            yield from self._flood_group(system, gateway, offset, nbytes)
+
+        for index, gateway in enumerate(gateways):
+            branches.append(
+                self.sim.process(to_group(gateway, index == 0), name="dl.bc.fwd")
+            )
+        yield AllOf(branches)
+        self.stats.add("idc.broadcast_ops")
+        done.succeed(nbytes)
+
+    def message(self, src_dimm, dst_dimm, nbytes, expected: bool = False) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="dl.msg")
+
+        def proc():
+            yield self.controllers[src_dimm].packetize_ps
+            if self.bridge.same_group(src_dimm, dst_dimm):
+                yield self.bridge.send(src_dimm, dst_dimm, CONTROL_WIRE_BYTES)
+            else:
+                if not expected:
+                    yield from self._register_at_proxy(src_dimm)
+                yield system.forwarder.forward(
+                    src_dimm,
+                    dst_dimm,
+                    CONTROL_WIRE_BYTES,
+                    notice_dimm=-1 if expected else None,
+                )
+            yield self.controllers[dst_dimm].decode_ps
+            self.stats.add("idc.messages")
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="dl.msg")
+        return done
+
+    def hop_distance(self, src_dimm: int, dst_dimm: int) -> float:
+        return distance(self._require_system().config, src_dimm, dst_dimm)

@@ -1,0 +1,167 @@
+"""DIMM-Link on disaggregated memory (Sec. VI "future work").
+
+The paper argues DIMM-Link also fits disaggregated memory: DIMMs are
+organised as *memory blades* attached over PCIe/CXL/Ethernet, DIMM-Link
+augments the *intra-blade* IDC capability, and the existing fabric
+protocol (CXL.mem or RDMA) carries *inter-blade* transfers.
+
+This module implements that organisation: each blade is a full
+:class:`~repro.nmp.system.NMPSystem` (DL bridge, local MCs, DRAM)
+embedded in one shared simulator, blades are joined by a fabric with a
+technology-dependent bandwidth/latency point, and
+:meth:`DisaggregatedMemory.transfer` routes between any two DIMMs in the
+cluster — DL hops inside a blade, the fabric between blades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError, RoutingError
+from repro.protocol.packet import wire_bytes_for_transfer
+from repro.sim.engine import SimEvent, Simulator
+from repro.sim.resource import BandwidthResource
+from repro.sim.stats import StatRegistry
+from repro.sim.time import ns
+
+
+@dataclass(frozen=True)
+class FabricTech:
+    """An inter-blade interconnect technology."""
+
+    name: str
+    bandwidth_gbps: float
+    latency_ns: float
+    #: per-transfer software/protocol overhead at each endpoint.
+    endpoint_overhead_ns: float
+
+
+#: CXL 3.0 x8-ish link with hardware coherence (lowest latency).
+CXL = FabricTech("cxl", bandwidth_gbps=64.0, latency_ns=300.0, endpoint_overhead_ns=80.0)
+#: one-sided RDMA over 200G fabric.
+RDMA = FabricTech("rdma", bandwidth_gbps=25.0, latency_ns=1500.0, endpoint_overhead_ns=600.0)
+#: commodity Ethernet with a software stack.
+ETHERNET = FabricTech(
+    "ethernet", bandwidth_gbps=12.5, latency_ns=8000.0, endpoint_overhead_ns=4000.0
+)
+
+FABRICS: Dict[str, FabricTech] = {f.name: f for f in (CXL, RDMA, ETHERNET)}
+
+
+def fabric(name: str) -> FabricTech:
+    """Look up an inter-blade fabric technology."""
+    try:
+        return FABRICS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fabric {name!r}; available: {sorted(FABRICS)}"
+        ) from None
+
+
+class DisaggregatedMemory:
+    """A cluster of DIMM-NMP memory blades joined by a fabric."""
+
+    def __init__(
+        self,
+        num_blades: int = 2,
+        blade_config: str = "8D-4C",
+        fabric_name: str = "cxl",
+    ) -> None:
+        if num_blades <= 0:
+            raise ConfigError("need at least one blade")
+        from repro.nmp.system import NMPSystem  # local import: avoids a cycle
+
+        self.sim = Simulator()
+        self.stats = StatRegistry()
+        self.fabric_tech = fabric(fabric_name)
+        self.blades: List[NMPSystem] = [
+            NMPSystem(
+                SystemConfig.named(blade_config),
+                idc="dimm_link",
+                sim=self.sim,
+                stats=self.stats.scope(f"blade{index}"),
+            )
+            for index in range(num_blades)
+        ]
+        self.dimms_per_blade = self.blades[0].config.num_dimms
+        # full-duplex fabric port per blade
+        self._ports: List[Tuple[BandwidthResource, BandwidthResource]] = [
+            (
+                BandwidthResource(
+                    self.sim,
+                    self.fabric_tech.bandwidth_gbps,
+                    latency_ps=ns(self.fabric_tech.latency_ns),
+                    name=f"blade{index}.tx",
+                ),
+                BandwidthResource(
+                    self.sim,
+                    self.fabric_tech.bandwidth_gbps,
+                    latency_ps=ns(self.fabric_tech.latency_ns),
+                    name=f"blade{index}.rx",
+                ),
+            )
+            for index in range(num_blades)
+        ]
+
+    def locate(self, global_dimm: int) -> Tuple[int, int]:
+        """Global DIMM id -> (blade, blade-local DIMM)."""
+        blade, local = divmod(global_dimm, self.dimms_per_blade)
+        if blade >= len(self.blades):
+            raise RoutingError(f"global DIMM {global_dimm} beyond the cluster")
+        return blade, local
+
+    def transfer(self, src_dimm: int, dst_dimm: int, nbytes: int) -> SimEvent:
+        """Move ``nbytes`` between any two DIMMs in the cluster.
+
+        Same blade: a DIMM-Link remote write.  Different blades: DL to the
+        source blade's port DIMM, the fabric, then DL to the destination.
+        """
+        src_blade, src_local = self.locate(src_dimm)
+        dst_blade, dst_local = self.locate(dst_dimm)
+        if src_blade == dst_blade:
+            self.stats.add("disagg.intra_blade_bytes", nbytes)
+            return self.blades[src_blade].idc.remote_write(
+                src_local, dst_local, 0, nbytes
+            )
+        done = self.sim.event(name="disagg.transfer")
+        self.sim.process(
+            self._inter_blade(src_blade, src_local, dst_blade, dst_local, nbytes, done),
+            name="disagg.xfer",
+        )
+        return done
+
+    def _inter_blade(self, src_blade, src_local, dst_blade, dst_local, nbytes, done):
+        tech = self.fabric_tech
+        wire = wire_bytes_for_transfer(nbytes)
+        src = self.blades[src_blade]
+        dst = self.blades[dst_blade]
+        # DL to the source blade's fabric-port DIMM (its group master)
+        port_out = src.config.master_dimm(src.config.group_of(src_local))
+        if port_out != src_local:
+            yield src.idc.bridge.stream(src_local, port_out, wire)
+        yield ns(tech.endpoint_overhead_ns)
+        yield self._ports[src_blade][0].transfer(wire)
+        yield self._ports[dst_blade][1].transfer(wire)
+        yield ns(tech.endpoint_overhead_ns)
+        # DL from the destination blade's port DIMM to the target
+        port_in = dst.config.master_dimm(dst.config.group_of(dst_local))
+        if port_in != dst_local:
+            yield dst.idc.bridge.stream(port_in, dst_local, wire)
+        yield dst.dimms[dst_local].mc.local_access(0, nbytes, True)
+        self.stats.add("disagg.inter_blade_bytes", nbytes)
+        done.succeed(nbytes)
+
+    def measure_bandwidth(self, src_dimm: int, dst_dimm: int, nbytes: int) -> float:
+        """Achieved GB/s for one transfer (drains the simulator)."""
+        start = self.sim.now
+        done = []
+        self.transfer(src_dimm, dst_dimm, nbytes).add_callback(
+            lambda ev: done.append(self.sim.now)
+        )
+        self.sim.run()
+        if not done:
+            raise RoutingError("transfer did not complete")
+        elapsed = done[0] - start
+        return nbytes * 1000 / elapsed

@@ -1,0 +1,84 @@
+"""SerDes technology models (Table II).
+
+The DL-Bridge's physical links can be built from different SerDes
+technologies; the paper adopts NVIDIA's Ground-Referenced Signalling (GRS)
+for its bandwidth/energy and uses its limited reach (~80 mm) to justify
+the per-side DL-group organization (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SerDesTech:
+    """One SerDes technology option for the DL-Bridge."""
+
+    name: str
+    media: str
+    signal_rate_gbps_per_pin: float
+    reach_mm: float
+    energy_pj_per_bit: float
+
+    def link_bandwidth_gbps(self, pins: int) -> float:
+        """Aggregate one-direction link bandwidth over ``pins`` lanes (GB/s)."""
+        if pins <= 0:
+            raise ConfigError(f"pin count must be positive, got {pins}")
+        return self.signal_rate_gbps_per_pin * pins / 8.0
+
+    def pins_for_bandwidth(self, gbps: float) -> int:
+        """Lanes needed to reach ``gbps`` of one-direction bandwidth."""
+        if gbps <= 0:
+            raise ConfigError(f"bandwidth must be positive, got {gbps}")
+        pins = int(-(-gbps * 8.0 // self.signal_rate_gbps_per_pin))
+        return max(1, pins)
+
+
+#: SMA-cable transceiver [10] in Table II.
+SMA_CABLE = SerDesTech(
+    name="sma_cable",
+    media="SMA Cable",
+    signal_rate_gbps_per_pin=6.0,
+    reach_mm=953.0,
+    energy_pj_per_bit=0.58,
+)
+
+#: Ribbon-cable link [25] in Table II.
+RIBBON_CABLE = SerDesTech(
+    name="ribbon_cable",
+    media="Ribbon Cable",
+    signal_rate_gbps_per_pin=16.0,
+    reach_mm=500.0,
+    energy_pj_per_bit=2.58,
+)
+
+#: Ground-Referenced Signalling [69] — the paper's choice (25 Gb/s/pin,
+#: 80 mm reach, 1.17 pJ/b).
+GRS = SerDesTech(
+    name="grs",
+    media="PCB",
+    signal_rate_gbps_per_pin=25.0,
+    reach_mm=80.0,
+    energy_pj_per_bit=1.17,
+)
+
+_TECHS: Dict[str, SerDesTech] = {t.name: t for t in (SMA_CABLE, RIBBON_CABLE, GRS)}
+
+
+def tech(name: str) -> SerDesTech:
+    """Look up a SerDes technology by name."""
+    try:
+        return _TECHS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown SerDes tech {name!r}; available: {sorted(_TECHS)}"
+        ) from None
+
+
+def table2() -> Dict[str, SerDesTech]:
+    """All Table II technologies (name -> tech)."""
+    return dict(_TECHS)

@@ -1,0 +1,97 @@
+"""Physical address mapping.
+
+The paper's packets carry a 42-bit physical address (4 TB), with the
+destination-DIMM id folded into the top bits (Sec. III-B).  This module
+provides that codec: a global address is ``(dimm_id, local_offset)``, and
+within a DIMM the local offset is decoded to rank/bank/row/column with a
+row-interleaved layout that spreads consecutive cache lines over banks
+(standard practice to expose bank-level parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.errors import ConfigError
+from repro.dram.timing import DRAMTiming
+
+#: Total physical address bits (4 TB, Sec. III-B).
+ADDR_BITS = 42
+#: Cache-line / DRAM-burst granularity.
+LINE_BYTES = 64
+
+
+class Location(NamedTuple):
+    """A decoded intra-DIMM DRAM coordinate."""
+
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps a local byte offset to (rank, bank, row, column).
+
+    Layout (LSB -> MSB): line offset | bank | rank | column-of-row | row.
+    Interleaving lines across banks first, then ranks, maximises bank-level
+    parallelism for streaming accesses, matching how the paper's NMP cores
+    "access local ranks in parallel".
+    """
+
+    ranks: int
+    banks_per_rank: int
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.ranks <= 0 or self.banks_per_rank <= 0:
+            raise ConfigError("ranks and banks_per_rank must be positive")
+        if self.row_bytes % LINE_BYTES != 0:
+            raise ConfigError("row_bytes must be a multiple of the line size")
+
+    @property
+    def lines_per_row(self) -> int:
+        """Cache lines held by one open row."""
+        return self.row_bytes // LINE_BYTES
+
+    def decode(self, offset: int) -> Location:
+        """Decode a local byte offset into a DRAM location."""
+        if offset < 0:
+            raise ConfigError(f"negative address offset {offset}")
+        line = offset // LINE_BYTES
+        bank = line % self.banks_per_rank
+        line //= self.banks_per_rank
+        rank = line % self.ranks
+        line //= self.ranks
+        column = line % self.lines_per_row
+        row = line // self.lines_per_row
+        return Location(rank=rank, bank=bank, row=row, column=column)
+
+    @classmethod
+    def for_timing(cls, ranks: int, timing: DRAMTiming) -> "AddressMap":
+        """Build a map consistent with a timing preset's geometry."""
+        return cls(
+            ranks=ranks,
+            banks_per_rank=timing.banks_per_rank,
+            row_bytes=timing.row_bytes,
+        )
+
+
+def encode_global(dimm_id: int, offset: int, dimm_bits: int = 5) -> int:
+    """Pack (dimm, offset) into a 42-bit global physical address."""
+    if not 0 <= dimm_id < (1 << dimm_bits):
+        raise ConfigError(f"dimm_id {dimm_id} does not fit in {dimm_bits} bits")
+    offset_bits = ADDR_BITS - dimm_bits
+    if not 0 <= offset < (1 << offset_bits):
+        raise ConfigError(f"offset {offset:#x} does not fit in {offset_bits} bits")
+    return (dimm_id << offset_bits) | offset
+
+
+def decode_global(address: int, dimm_bits: int = 5) -> "tuple[int, int]":
+    """Unpack a global physical address into (dimm_id, local offset)."""
+    if not 0 <= address < (1 << ADDR_BITS):
+        raise ConfigError(f"address {address:#x} outside the 42-bit space")
+    offset_bits = ADDR_BITS - dimm_bits
+    return address >> offset_bits, address & ((1 << offset_bits) - 1)

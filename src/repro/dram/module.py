@@ -1,0 +1,81 @@
+"""A DRAM module: the memory of one DIMM (all ranks behind its buffer chip).
+
+The module splits byte-addressed requests into cache-line accesses, decodes
+each line with the :class:`~repro.dram.address.AddressMap`, and drives the
+per-rank state machines.  Requests larger than :data:`BULK_THRESHOLD`
+take the rank streaming fast path so multi-megabyte transfers (Fig. 1's
+bulk sweep) stay cheap to simulate.
+"""
+
+from __future__ import annotations
+
+from repro.dram.address import LINE_BYTES, AddressMap
+from repro.dram.bank import Rank
+from repro.dram.timing import DRAMTiming
+from repro.errors import SimulationError
+from repro.sim.engine import SimEvent, Simulator
+from repro.sim.stats import StatRegistry
+
+#: Requests at or above this size use the per-rank streaming fast path.
+BULK_THRESHOLD = 4096
+
+
+class DRAMModule:
+    """All ranks of one DIMM, with a shared address map."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timing: DRAMTiming,
+        ranks: int,
+        stats: StatRegistry,
+        name: str = "dram",
+    ) -> None:
+        if ranks <= 0:
+            raise SimulationError(f"{name}: rank count must be positive")
+        self.sim = sim
+        self.timing = timing
+        self.name = name
+        self.stats = stats
+        self.address_map = AddressMap.for_timing(ranks, timing)
+        self.ranks = [
+            Rank(timing, stats, name=f"{name}.rank{i}") for i in range(ranks)
+        ]
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate peak bandwidth across ranks (accessed in parallel)."""
+        return len(self.ranks) * self.timing.rank_bandwidth_gbps
+
+    def completion_time(self, offset: int, nbytes: int, is_write: bool) -> int:
+        """When a request arriving now would complete (advances bank state)."""
+        if nbytes <= 0:
+            raise SimulationError(f"{self.name}: request size must be positive")
+        now = self.sim.now
+        if nbytes >= BULK_THRESHOLD:
+            per_rank = nbytes // len(self.ranks)
+            done = 0
+            for rank in self.ranks:
+                done = max(done, rank.stream(now, per_rank, is_write))
+            return done
+        done = 0
+        line_start = offset - (offset % LINE_BYTES)
+        line_end = offset + nbytes
+        while line_start < line_end:
+            loc = self.address_map.decode(line_start)
+            rank = self.ranks[loc.rank]
+            done = max(done, rank.access_line(now, loc.bank, loc.row, is_write))
+            line_start += LINE_BYTES
+        return done
+
+    def access(self, offset: int, nbytes: int, is_write: bool) -> SimEvent:
+        """Issue a request; the returned event fires at completion."""
+        done = self.completion_time(offset, nbytes, is_write)
+        event = self.sim.event(name=f"{self.name}.access")
+        self.sim.at(done, lambda _arg: event.succeed(nbytes), None)
+        return event
+
+    def precharge_all(self) -> None:
+        """Close all rows (mode switches between HA and NA, Sec. III-E)."""
+        for rank in self.ranks:
+            rank.precharge_all()

@@ -1,0 +1,187 @@
+"""DDR4 timing parameter sets.
+
+Transaction-level analogue of a Ramulator timing config: the handful of
+constraints that dominate request latency and bank-level parallelism at the
+granularity this reproduction needs (tRCD/tCAS/tRP/tRAS, tRRD/tFAW, burst
+time, refresh).  Values follow Micron DDR4 RDIMM/LRDIMM datasheets; the
+paper configures its DRAM from the Micron LR-DIMM datasheet [62].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.sim.time import ns
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing constraints for one DDR4 speed grade (times in ns).
+
+    All ``t_*`` attributes are nanoseconds; the ``*_ps`` properties convert
+    to the simulator's picosecond unit.
+    """
+
+    name: str
+    data_rate_mtps: int
+    tck_ns: float
+    cl_ck: int
+    trcd_ck: int
+    trp_ck: int
+    tras_ns: float
+    trrd_l_ns: float
+    tfaw_ns: float
+    twr_ns: float
+    trfc_ns: float
+    trefi_ns: float
+    burst_length: int = 8
+    #: bus width of one rank in bytes (x64).
+    bus_bytes: int = 8
+    #: banks per rank (DDR4: 4 bank groups x 4 banks).
+    banks_per_rank: int = 16
+    #: row (page) size in bytes.
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.tck_ns <= 0:
+            raise ConfigError(f"{self.name}: tCK must be positive")
+
+    # -- derived latencies (picoseconds) ------------------------------------
+
+    @property
+    def tcas_ps(self) -> int:
+        """CAS (read) latency."""
+        return ns(self.cl_ck * self.tck_ns)
+
+    @property
+    def trcd_ps(self) -> int:
+        """ACT-to-RD/WR delay."""
+        return ns(self.trcd_ck * self.tck_ns)
+
+    @property
+    def trp_ps(self) -> int:
+        """Precharge time."""
+        return ns(self.trp_ck * self.tck_ns)
+
+    @property
+    def tras_ps(self) -> int:
+        """Minimum row-open time."""
+        return ns(self.tras_ns)
+
+    @property
+    def trrd_ps(self) -> int:
+        """ACT-to-ACT (same rank) spacing."""
+        return ns(self.trrd_l_ns)
+
+    @property
+    def tfaw_ps(self) -> int:
+        """Four-activate window."""
+        return ns(self.tfaw_ns)
+
+    @property
+    def twr_ps(self) -> int:
+        """Write recovery."""
+        return ns(self.twr_ns)
+
+    @property
+    def trfc_ps(self) -> int:
+        """Refresh-cycle time."""
+        return ns(self.trfc_ns)
+
+    @property
+    def trefi_ps(self) -> int:
+        """Average refresh interval."""
+        return ns(self.trefi_ns)
+
+    @property
+    def tburst_ps(self) -> int:
+        """Time to stream one burst (BL/2 clocks for DDR)."""
+        return ns(self.burst_length / 2 * self.tck_ns)
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes delivered by one burst (64 for BL8 x64)."""
+        return self.burst_length * self.bus_bytes
+
+    @property
+    def rank_bandwidth_gbps(self) -> float:
+        """Peak per-rank data bandwidth in GB/s."""
+        return self.data_rate_mtps * self.bus_bytes / 1000.0
+
+
+_PRESETS: Dict[str, DRAMTiming] = {}
+
+
+def _register(timing: DRAMTiming) -> DRAMTiming:
+    _PRESETS[timing.name] = timing
+    return timing
+
+
+#: Micron 32GB 2Rx4 DDR4-2400 LRDIMM-class timing (the paper's Table V DRAM).
+DDR4_2400_LRDIMM = _register(
+    DRAMTiming(
+        name="DDR4_2400_LRDIMM",
+        data_rate_mtps=2400,
+        tck_ns=0.833,
+        cl_ck=17,
+        trcd_ck=17,
+        trp_ck=17,
+        tras_ns=32.0,
+        trrd_l_ns=4.9,
+        tfaw_ns=21.0,
+        twr_ns=15.0,
+        trfc_ns=350.0,
+        trefi_ns=7800.0,
+    )
+)
+
+DDR4_2666_RDIMM = _register(
+    DRAMTiming(
+        name="DDR4_2666_RDIMM",
+        data_rate_mtps=2666,
+        tck_ns=0.750,
+        cl_ck=19,
+        trcd_ck=19,
+        trp_ck=19,
+        tras_ns=32.0,
+        trrd_l_ns=4.9,
+        tfaw_ns=21.0,
+        twr_ns=15.0,
+        trfc_ns=350.0,
+        trefi_ns=7800.0,
+    )
+)
+
+DDR4_3200_RDIMM = _register(
+    DRAMTiming(
+        name="DDR4_3200_RDIMM",
+        data_rate_mtps=3200,
+        tck_ns=0.625,
+        cl_ck=22,
+        trcd_ck=22,
+        trp_ck=22,
+        tras_ns=32.0,
+        trrd_l_ns=4.9,
+        tfaw_ns=21.0,
+        twr_ns=15.0,
+        trfc_ns=350.0,
+        trefi_ns=7800.0,
+    )
+)
+
+
+def preset(name: str) -> DRAMTiming:
+    """Look up a registered timing preset by name."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown DRAM preset {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+
+
+def presets() -> Dict[str, DRAMTiming]:
+    """All registered presets (name -> timing)."""
+    return dict(_PRESETS)

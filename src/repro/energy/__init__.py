@@ -1,0 +1,6 @@
+"""Event-count energy model (the paper's Fig. 13 accounting)."""
+
+from repro.energy.accounting import EnergyReport, energy_report
+from repro.energy.params import DEFAULT_PARAMS, EnergyParams
+
+__all__ = ["EnergyReport", "energy_report", "DEFAULT_PARAMS", "EnergyParams"]

@@ -1,0 +1,97 @@
+"""Energy accounting: turn a run's event counters into joules (Fig. 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import SystemConfig
+from repro.energy.params import DEFAULT_PARAMS, EnergyParams
+from repro.nmp.results import RunResult
+from repro.sim.time import ns, to_s
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy by category, in joules."""
+
+    dram_j: float
+    dl_link_j: float
+    bus_j: float
+    nmp_static_j: float
+    host_j: float
+
+    @property
+    def idc_j(self) -> float:
+        """Communication energy (links + buses + host involvement)."""
+        return self.dl_link_j + self.bus_j + self.host_j
+
+    @property
+    def total_j(self) -> float:
+        """Total energy."""
+        return self.dram_j + self.dl_link_j + self.bus_j + self.nmp_static_j + self.host_j
+
+    def as_dict(self) -> Dict[str, float]:
+        """Category -> joules (plus totals)."""
+        return {
+            "dram": self.dram_j,
+            "dl_link": self.dl_link_j,
+            "bus": self.bus_j,
+            "nmp_static": self.nmp_static_j,
+            "host": self.host_j,
+            "idc": self.idc_j,
+            "total": self.total_j,
+        }
+
+
+def _polling_energy(
+    result: RunResult, config: SystemConfig, params: EnergyParams, polling: str
+) -> float:
+    runtime_ps = result.time_ps
+    if polling == "baseline":
+        polls = (runtime_ps / ns(config.host.poll_visit_ns)) * config.num_channels
+        return polls * params.poll_nj * 1e-9
+    if polling == "proxy":
+        polls = (runtime_ps / ns(config.host.proxy_repoll_ns)) * len(config.groups)
+        return polls * params.poll_nj * 1e-9
+    # interrupt-driven strategies: per-event scan reads + interrupts
+    scans = result.counter("poll.scan_reads")
+    notices = result.counter("poll.notices")
+    return scans * params.poll_nj * 1e-9 + notices * params.interrupt_nj * 1e-9
+
+
+def energy_report(
+    result: RunResult,
+    config: SystemConfig,
+    polling: str = "baseline",
+    params: EnergyParams = DEFAULT_PARAMS,
+) -> EnergyReport:
+    """Compute the Fig. 13 energy breakdown for one run."""
+    bits = lambda nbytes: nbytes * 8.0  # noqa: E731 - unit helper
+    dram_bytes = result.counter("dram.read_bytes") + result.counter("dram.write_bytes")
+    dram_j = (
+        bits(dram_bytes) * params.dram_pj_per_bit * 1e-12
+        + result.counter("dram.activates") * params.activate_nj * 1e-9
+    )
+    dl_link_j = (
+        bits(result.counter("dl.hop_bytes"))
+        * config.link.energy_pj_per_bit
+        * 1e-12
+    )
+    bus_bytes = result.counter("bus.bytes") + result.counter("idc.dedicated_bus_bytes")
+    bus_j = bits(bus_bytes) * params.bus_pj_per_bit * 1e-12
+    nmp_static_j = (
+        config.num_dimms * params.nmp_processor_w * to_s(result.time_ps)
+        if result.mechanism != "cpu"
+        else 0.0
+    )
+    host_j = result.counter("fwd.ops") * params.fwd_op_nj * 1e-9 + _polling_energy(
+        result, config, params, polling
+    )
+    return EnergyReport(
+        dram_j=dram_j,
+        dl_link_j=dl_link_j,
+        bus_j=bus_j,
+        nmp_static_j=nmp_static_j,
+        host_j=host_j,
+    )

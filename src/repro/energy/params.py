@@ -1,0 +1,38 @@
+"""Energy constants (Sec. V-C "Energy Efficiency").
+
+All values follow the paper: GRS links at 1.17 pJ/b [69], DDR activate
+2.1 nJ and RD/WR 14 pJ/b (RecNMP [44]), off-chip memory-bus IO 22 pJ/b,
+a 1.8 W four-core NMP processor per DIMM (MCN [3]), AIM's dedicated bus
+at memory-bus energy [11], and GEM5+McPAT-style host polling/forwarding
+costs folded into per-operation constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy constants."""
+
+    #: DIMM-Link SerDes energy (GRS).
+    dl_pj_per_bit: float = 1.17
+    #: memory-channel (and AIM dedicated-bus) IO energy.
+    bus_pj_per_bit: float = 22.0
+    #: DRAM read/write data energy.
+    dram_pj_per_bit: float = 14.0
+    #: one row activation.
+    activate_nj: float = 2.1
+    #: power of one DIMM's four-core NMP processor.
+    nmp_processor_w: float = 1.8
+    #: host CPU energy per forwarded packet (decode + copy management).
+    fwd_op_nj: float = 400.0
+    #: host energy per polling read (issue + register decode).
+    poll_nj: float = 30.0
+    #: host energy per interrupt delivery + context switch.
+    interrupt_nj: float = 2000.0
+
+
+#: module-level default instance.
+DEFAULT_PARAMS = EnergyParams()

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A DIMM-Link packet violated the protocol (bad field, CRC, size)."""
+
+
+class RoutingError(ReproError):
+    """A packet could not be routed to its destination."""
+
+
+class MappingError(ReproError):
+    """Thread placement could not be derived (e.g. infeasible flow)."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked to run with invalid inputs."""

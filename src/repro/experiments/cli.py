@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Installed as ``dimmlink-repro``::
+
+    dimmlink-repro fig10 --size small
+    dimmlink-repro all   --size tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    disaggregated_memory,
+    fig01_idc_bandwidth,
+    fig10_p2p,
+    fig11_breakdown,
+    fig12_broadcast,
+    fig13_energy,
+    fig14_sync,
+    fig15_polling,
+    fig16_bandwidth,
+    fig17_topology,
+    headline,
+    mapping_ablation,
+    table1_bandwidth_model,
+    table2_serdes,
+)
+
+#: experiment name -> main(size) callable (or main() for size-less ones).
+_SIZED: Dict[str, Callable[[str], None]] = {
+    "fig10": fig10_p2p.main,
+    "fig11": fig11_breakdown.main,
+    "fig12": fig12_broadcast.main,
+    "fig13": fig13_energy.main,
+    "fig15": fig15_polling.main,
+    "fig16": fig16_bandwidth.main,
+    "fig17": fig17_topology.main,
+    "headline": headline.main,
+    "mapping": mapping_ablation.main,
+}
+
+_UNSIZED: Dict[str, Callable[[], None]] = {
+    "disaggregated": disaggregated_memory.main,
+    "fig1": fig01_idc_bandwidth.main,
+    "fig14": fig14_sync.main,
+    "table1": table1_bandwidth_model.main,
+    "table2": table2_serdes.main,
+}
+
+
+def experiment_names() -> list:
+    """All runnable experiment ids."""
+    return sorted(list(_SIZED) + list(_UNSIZED)) + ["all"]
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="dimmlink-repro",
+        description="Regenerate DIMM-Link (HPCA'23) tables and figures.",
+    )
+    parser.add_argument("experiment", choices=experiment_names())
+    parser.add_argument(
+        "--size",
+        default="small",
+        choices=("tiny", "small", "large"),
+        help="workload size preset (default: small)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        for name, runner in sorted(_UNSIZED.items()):
+            print(f"\n=== {name} ===")
+            runner()
+        for name, runner in sorted(_SIZED.items()):
+            print(f"\n=== {name} (size={args.size}) ===")
+            runner(args.size)
+        return 0
+    if args.experiment in _UNSIZED:
+        _UNSIZED[args.experiment]()
+    else:
+        _SIZED[args.experiment](args.size)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Shared experiment plumbing: workload registry, system runners.
+
+Every figure/table module builds on these helpers:
+
+* :func:`build_workload` — Table IV workloads at three size presets
+  (``tiny`` for unit tests/benches, ``small`` for examples, ``large`` for
+  longer runs),
+* :func:`run_nmp` / :func:`run_cpu` — execute a workload on a configured
+  system,
+* :func:`run_optimized` — the DL-opt flow: profile traffic, solve the
+  distance-aware placement, run, and charge the profiling overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.host.cpu import HostCPUSystem
+from repro.mapping.placement import distance_aware_placement
+from repro.mapping.profile import DEFAULT_PROFILE_FRACTION, profile_traffic
+from repro.nmp.results import RunResult
+from repro.nmp.system import NMPSystem
+from repro.workloads.base import Workload
+from repro.workloads.bfs import BFS
+from repro.workloads.hotspot import Hotspot
+from repro.workloads.kmeans import KMeans
+from repro.workloads.nw import NeedlemanWunsch
+from repro.workloads.pagerank import PageRank, PageRankBC
+from repro.workloads.spmv import SpMV, SpMVBC
+from repro.workloads.sssp import SSSP, SSSPBC
+from repro.workloads.tspow import TSPow
+
+#: the Fig. 10 point-to-point benchmark suite (Table IV).
+P2P_WORKLOADS = ("bfs", "hotspot", "kmeans", "nw", "pagerank", "sssp")
+#: the Fig. 12 broadcast suite.
+BC_WORKLOADS = ("pagerank_bc", "sssp_bc", "spmv_bc")
+
+_SIZES = ("tiny", "small", "large")
+
+_GRAPH_SCALE = {"tiny": 9, "small": 11, "large": 12}
+#: traffic multiplier bridging scaled graphs to LiveJournal-size volumes.
+_BYTE_SCALE = {"tiny": 4, "small": 24, "large": 48}
+_ITERS = {"tiny": 2, "small": 4, "large": 8}
+
+
+def build_workload(name: str, size: str = "small", seed: int = 42) -> Workload:
+    """Instantiate a Table IV workload at a size preset."""
+    if size not in _SIZES:
+        raise ConfigError(f"unknown size {size!r}; choose from {_SIZES}")
+    scale = _GRAPH_SCALE[size]
+    bscale = _BYTE_SCALE[size]
+    iters = _ITERS[size]
+    grid = {"tiny": 128, "small": 256, "large": 512}[size]
+    seq = {"tiny": 1024, "small": 2048, "large": 4096}[size]
+    points = {"tiny": 8192, "small": 32768, "large": 131072}[size]
+    samples = {"tiny": 2048, "small": 8192, "large": 32768}[size]
+    factories = {
+        "bfs": lambda: BFS(scale=scale, seed=seed, byte_scale=bscale),
+        "sssp": lambda: SSSP(scale=scale, seed=seed, rounds=iters, byte_scale=bscale),
+        "pagerank": lambda: PageRank(scale=scale, seed=seed, iterations=iters, byte_scale=bscale),
+        "spmv": lambda: SpMV(scale=scale, seed=seed, iterations=max(1, iters // 2), byte_scale=bscale),
+        "pagerank_bc": lambda: PageRankBC(scale=scale, seed=seed, iterations=iters, byte_scale=bscale),
+        "sssp_bc": lambda: SSSPBC(scale=scale, seed=seed, rounds=iters, byte_scale=bscale),
+        "spmv_bc": lambda: SpMVBC(scale=scale, seed=seed, iterations=max(1, iters // 2), byte_scale=bscale),
+        "hotspot": lambda: Hotspot(rows=grid, cols=grid, iterations=iters),
+        "kmeans": lambda: KMeans(points=points, iterations=max(2, iters // 2)),
+        "nw": lambda: NeedlemanWunsch(sequence_length=seq, block=128),
+        "ts_pow": lambda: TSPow(samples_per_thread=samples, chunks=3 * iters),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+def threads_for(config: SystemConfig) -> int:
+    """The paper runs four threads per DIMM."""
+    return config.num_dimms * config.nmp.cores_per_dimm
+
+
+def run_cpu(
+    config: SystemConfig, workload: Workload, num_threads: Optional[int] = None
+) -> RunResult:
+    """Run a workload on the 16-core host-CPU baseline."""
+    threads = num_threads or threads_for(config)
+    system = HostCPUSystem(config)
+    factories = workload.thread_factories(threads, config.num_dimms)
+    return system.run(factories, workload_name=workload.name)
+
+
+def run_nmp(
+    config: SystemConfig,
+    workload: Workload,
+    mechanism: str = "dimm_link",
+    polling: Optional[str] = None,
+    sync_mode: str = "hierarchical",
+    num_threads: Optional[int] = None,
+) -> RunResult:
+    """Run a workload on an NMP system with the natural placement."""
+    threads = num_threads or threads_for(config)
+    system = NMPSystem(config, idc=mechanism, polling=polling, sync_mode=sync_mode)
+    factories = workload.thread_factories(threads, config.num_dimms)
+    return system.run(factories, workload_name=workload.name)
+
+
+def run_optimized(
+    config: SystemConfig,
+    workload: Workload,
+    polling: Optional[str] = "proxy",
+    sync_mode: str = "hierarchical",
+    num_threads: Optional[int] = None,
+    profile_fraction: float = DEFAULT_PROFILE_FRACTION,
+) -> RunResult:
+    """DIMM-Link-opt: profile, solve Algorithm 1, run, charge profiling."""
+    threads = num_threads or threads_for(config)
+    factories_for_profile = workload.thread_factories(threads, config.num_dimms)
+    traffic = profile_traffic(factories_for_profile, config.num_dimms)
+    placement = distance_aware_placement(traffic, config)
+    system = NMPSystem(config, idc="dimm_link", polling=polling, sync_mode=sync_mode)
+    factories = workload.thread_factories(threads, config.num_dimms)
+    result = system.run(factories, placement=placement, workload_name=workload.name)
+    result.profile_ps = int(result.time_ps * profile_fraction)
+    return result
+
+
+def mechanism_results(
+    config: SystemConfig,
+    workload: Workload,
+    mechanisms: tuple = ("mcn", "aim", "dimm_link"),
+) -> Dict[str, RunResult]:
+    """Run one workload across several mechanisms (fresh system each)."""
+    return {
+        mech: run_nmp(config, workload, mechanism=mech) for mech in mechanisms
+    }

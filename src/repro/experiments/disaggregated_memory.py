@@ -1,0 +1,59 @@
+"""Discussion experiment — DIMM-Link on disaggregated memory (Sec. VI).
+
+Quantifies the organisation the paper sketches: intra-blade transfers run
+over DIMM-Link; inter-blade transfers cross a CXL / RDMA / Ethernet
+fabric.  The table shows achieved bandwidth and the intra/inter gap per
+fabric technology, which is the case for pairing DL with a fast fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.core.disaggregated import FABRICS, DisaggregatedMemory
+
+
+def run(nbytes: int = 1 << 20, blade_config: str = "8D-4C") -> List[Dict[str, object]]:
+    """One row per fabric: intra- vs inter-blade bandwidth."""
+    rows = []
+    for name in sorted(FABRICS):
+        cluster = DisaggregatedMemory(
+            num_blades=2, blade_config=blade_config, fabric_name=name
+        )
+        intra = cluster.measure_bandwidth(0, 1, nbytes)
+        cluster = DisaggregatedMemory(
+            num_blades=2, blade_config=blade_config, fabric_name=name
+        )
+        dimms = cluster.dimms_per_blade
+        inter = cluster.measure_bandwidth(0, dimms, nbytes)
+        rows.append(
+            {
+                "fabric": name,
+                "intra_blade_gbps": intra,
+                "inter_blade_gbps": inter,
+                "gap_x": intra / inter,
+            }
+        )
+    return rows
+
+
+def main(nbytes: int = 1 << 20) -> None:
+    """Print the disaggregated-memory exploration."""
+    rows = run(nbytes=nbytes)
+    print("Sec. VI: DIMM-Link on disaggregated memory (1 MB transfers)")
+    print(
+        format_table(
+            ["fabric", "intra-blade (GB/s)", "inter-blade (GB/s)", "gap"],
+            [
+                (r["fabric"], r["intra_blade_gbps"], r["inter_blade_gbps"],
+                 f'{r["gap_x"]:.1f}x')
+                for r in rows
+            ],
+            precision=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

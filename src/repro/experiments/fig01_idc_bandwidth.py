@@ -1,0 +1,103 @@
+"""Fig. 1 — IDC performance exploration (UPMEM-style CPU forwarding).
+
+Reproduces both panels: (a) point-to-point IDC bandwidth of CPU-forwarded
+transfers as a function of transfer size (saturating in the low-GB/s
+range), and (b) the gap between aggregate NMP memory bandwidth and the
+total P2P IDC bandwidth the host can forward (the paper measures
+1.28 TB/s vs ~25 GB/s — a 51x gap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.nmp.system import NMPSystem
+from repro.sim.time import bandwidth_gbps
+from repro.workloads.microbench import BulkTransfer
+
+#: transfer sizes swept in panel (a).
+DEFAULT_SIZES = (4096, 16384, 65536, 262144, 1048576)
+
+
+def p2p_bandwidth(total_bytes: int, chunk_bytes: int, config_name: str = "4D-2C") -> float:
+    """Measured CPU-forwarded P2P bandwidth for one transfer size (GB/s)."""
+    system = NMPSystem(SystemConfig.named(config_name), idc="mcn")
+    workload = BulkTransfer(
+        total_bytes=total_bytes, chunk_bytes=chunk_bytes, src_dimm=0, dst_dimm=1
+    )
+    result = system.run(
+        workload.thread_factories(1, system.config.num_dimms),
+        placement=[0],
+        workload_name="bulk",
+    )
+    return bandwidth_gbps(total_bytes, result.time_ps)
+
+
+def aggregate_gap(config_name: str = "16D-8C") -> Dict[str, float]:
+    """Panel (b): aggregate NMP bandwidth vs total forwarded IDC bandwidth."""
+    config = SystemConfig.named(config_name)
+    nmp_gbps = (
+        config.num_dimms
+        * config.ranks_per_dimm
+        * 19.2  # per-rank DDR4-2400 peak
+    )
+    # all DIMM pairs transfer concurrently: the host engine saturates
+    system = NMPSystem(config, idc="mcn")
+    total = 1 << 20
+    factories = []
+    placements = []
+    for pair in range(config.num_dimms // 2):
+        src, dst = 2 * pair, 2 * pair + 1
+        workload = BulkTransfer(
+            total_bytes=total, chunk_bytes=1 << 16, src_dimm=src, dst_dimm=dst
+        )
+        factories.extend(workload.thread_factories(1, config.num_dimms))
+        placements.append(src)
+    result = system.run(factories, placement=placements, workload_name="bulk_all")
+    idc_gbps = bandwidth_gbps(total * len(placements), result.time_ps)
+    return {
+        "nmp_aggregate_gbps": nmp_gbps,
+        "idc_aggregate_gbps": idc_gbps,
+        "gap_x": nmp_gbps / idc_gbps,
+    }
+
+
+def run(sizes=DEFAULT_SIZES, total_bytes: int = 1 << 20) -> List[Dict[str, float]]:
+    """Sweep transfer sizes; returns one row per size."""
+    rows = []
+    for chunk in sizes:
+        gbps = p2p_bandwidth(min(total_bytes, max(chunk * 4, chunk)), chunk)
+        rows.append({"transfer_bytes": chunk, "p2p_gbps": gbps})
+    return rows
+
+
+def main() -> None:
+    """Print Fig. 1's two panels."""
+    rows = run()
+    print("Fig. 1(a): CPU-forwarded P2P IDC bandwidth vs transfer size")
+    print(
+        format_table(
+            ["transfer size (B)", "P2P IDC bandwidth (GB/s)"],
+            [(r["transfer_bytes"], r["p2p_gbps"]) for r in rows],
+        )
+    )
+    gap = aggregate_gap()
+    print("\nFig. 1(b): aggregate bandwidth gap (16 DIMMs)")
+    print(
+        format_table(
+            ["NMP aggregate (GB/s)", "P2P IDC aggregate (GB/s)", "gap"],
+            [
+                (
+                    gap["nmp_aggregate_gbps"],
+                    gap["idc_aggregate_gbps"],
+                    f'{gap["gap_x"]:.1f}x',
+                )
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Fig. 10 — P2P performance comparison.
+
+For every system configuration (4D-2C … 16D-8C) and Table IV workload,
+measures the speedup of MCN, AIM, DIMM-Link-base, and DIMM-Link-opt over
+the fixed 16-core CPU baseline, plus the ratio of non-overlapped IDC
+cycles (the line plot).  The paper's headline numbers (5.93x over CPU;
+2.42x / 1.87x / 1.12x over MCN / AIM / DL-base) are geomeans over this
+grid; :func:`summary` recomputes them from the rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table, geomean
+from repro.config import PAPER_CONFIG_NAMES, SystemConfig
+from repro.experiments.common import (
+    P2P_WORKLOADS,
+    build_workload,
+    run_cpu,
+    run_nmp,
+    run_optimized,
+)
+
+#: systems compared in the bar plot (cpu is the common denominator).
+SYSTEMS = ("mcn", "aim", "dl_base", "dl_opt")
+
+#: the CPU baseline is one fixed machine (16 cores, 8 channels).
+CPU_REFERENCE_CONFIG = "16D-8C"
+
+
+def run(
+    size: str = "small",
+    config_names: Sequence[str] = PAPER_CONFIG_NAMES,
+    workload_names: Sequence[str] = P2P_WORKLOADS,
+) -> List[Dict[str, object]]:
+    """Produce one row per (config, workload) with per-system speedups."""
+    rows: List[Dict[str, object]] = []
+    for workload_name in workload_names:
+        workload = build_workload(workload_name, size)
+        cpu = run_cpu(SystemConfig.named(CPU_REFERENCE_CONFIG), workload)
+        for config_name in config_names:
+            mcn = run_nmp(SystemConfig.named(config_name), workload, "mcn")
+            aim = run_nmp(SystemConfig.named(config_name), workload, "aim")
+            base = run_nmp(SystemConfig.named(config_name), workload, "dimm_link")
+            opt = run_optimized(SystemConfig.named(config_name), workload)
+            rows.append(
+                {
+                    "config": config_name,
+                    "workload": workload_name,
+                    "cpu_us": cpu.time_us,
+                    "mcn": cpu.total_ps / mcn.total_ps,
+                    "aim": cpu.total_ps / aim.total_ps,
+                    "dl_base": cpu.total_ps / base.total_ps,
+                    "dl_opt": cpu.total_ps / opt.total_ps,
+                    "mcn_idc_ratio": mcn.nonoverlapped_idc_ratio,
+                    "dl_base_idc_ratio": base.nonoverlapped_idc_ratio,
+                    "dl_opt_idc_ratio": opt.nonoverlapped_idc_ratio,
+                    "dl_opt_fwd_fraction": opt.forwarded_fraction,
+                }
+            )
+    return rows
+
+
+def summary(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Geomean speedups and the paper's headline ratios."""
+    means = {system: geomean([float(r[system]) for r in rows]) for system in SYSTEMS}
+    return {
+        **{f"{system}_geomean": value for system, value in means.items()},
+        "dl_opt_over_mcn": means["dl_opt"] / means["mcn"],
+        "dl_opt_over_aim": means["dl_opt"] / means["aim"],
+        "dl_opt_over_dl_base": means["dl_opt"] / means["dl_base"],
+    }
+
+
+def main(size: str = "small") -> None:
+    """Print the Fig. 10 grid and headline geomeans."""
+    rows = run(size=size)
+    print(f"Fig. 10: speedup over the 16-core CPU baseline (size={size})")
+    print(
+        format_table(
+            ["config", "workload", "MCN", "AIM", "DL-base", "DL-opt", "DL-opt IDC ratio"],
+            [
+                (
+                    r["config"],
+                    r["workload"],
+                    r["mcn"],
+                    r["aim"],
+                    r["dl_base"],
+                    r["dl_opt"],
+                    r["dl_opt_idc_ratio"],
+                )
+                for r in rows
+            ],
+            precision=2,
+        )
+    )
+    stats = summary(rows)
+    print("\nheadline geomeans (paper: DL-opt 5.93x over CPU; "
+          "2.42x/1.87x/1.12x over MCN/AIM/DL-base):")
+    for key, value in stats.items():
+        print(f"  {key}: {value:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fig. 11 — data-transfer breakdown of DIMM-Link-opt.
+
+For each workload at 16D-8C, splits the bytes moved into local DRAM
+traffic, DL-link (intra-group) traffic, and host-CPU-forwarded traffic.
+The paper's takeaway: with the thread-placement optimization only ~29%
+of IDC traffic still crosses the host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.experiments.common import P2P_WORKLOADS, build_workload, run_optimized
+
+
+def run(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = P2P_WORKLOADS,
+) -> List[Dict[str, float]]:
+    """One row per workload with byte shares by path."""
+    rows = []
+    for name in workload_names:
+        workload = build_workload(name, size)
+        result = run_optimized(SystemConfig.named(config_name), workload)
+        breakdown = result.traffic_breakdown
+        total = sum(breakdown.values()) or 1.0
+        rows.append(
+            {
+                "workload": name,
+                "local_share": breakdown["local"] / total,
+                "intra_group_share": breakdown["intra_group"] / total,
+                "forwarded_share": breakdown["forwarded"] / total,
+                "idc_forwarded_fraction": result.forwarded_fraction,
+            }
+        )
+    return rows
+
+
+def mean_forwarded_fraction(rows: List[Dict[str, float]]) -> float:
+    """Average share of IDC traffic crossing the host (paper: ~0.29)."""
+    values = [r["idc_forwarded_fraction"] for r in rows if r["idc_forwarded_fraction"] > 0]
+    return sum(values) / len(values) if values else 0.0
+
+
+def main(size: str = "small") -> None:
+    """Print the Fig. 11 breakdown."""
+    rows = run(size=size)
+    print("Fig. 11: DIMM-Link-opt data transfer breakdown (16D-8C)")
+    print(
+        format_table(
+            ["workload", "local", "DL intra-group", "CPU-forwarded", "fwd share of IDC"],
+            [
+                (
+                    r["workload"],
+                    r["local_share"],
+                    r["intra_group_share"],
+                    r["forwarded_share"],
+                    r["idc_forwarded_fraction"],
+                )
+                for r in rows
+            ],
+        )
+    )
+    print(
+        f"\nmean forwarded fraction of IDC traffic: "
+        f"{mean_forwarded_fraction(rows):.2f} (paper: ~0.29)"
+    )
+
+
+if __name__ == "__main__":
+    main()

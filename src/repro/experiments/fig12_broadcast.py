@@ -1,0 +1,88 @@
+"""Fig. 12 — broadcast performance comparison.
+
+Runs the broadcast-formulated workloads (PR, SSSP, SpMV) on MCN-BC
+(host read + per-DIMM writes), ABC-DIMM (channel-wise broadcast),
+AIM-BC (single dedicated-bus transfer), and DIMM-Link (group floods +
+one host forward per remote group), at 2 and 3 DIMMs-per-channel.
+Speedups are over MCN-BC.  Expected shape: AIM-BC >= DIMM-Link >
+ABC-DIMM > MCN-BC, with ABC-DIMM's edge over MCN-BC modest at low DPC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table, geomean
+from repro.config import SystemConfig
+from repro.experiments.common import BC_WORKLOADS, build_workload, run_nmp
+
+#: mechanisms compared (column order of the figure).
+SYSTEMS = ("mcn", "abc", "aim", "dimm_link")
+
+#: paper's 2DPC and 3DPC systems, as (name, config) pairs.
+DPC_CONFIGS = (("2DPC", "16D-8C"), ("3DPC", "12D-4C"))
+
+
+def run(
+    size: str = "small",
+    dpc_configs: Sequence = DPC_CONFIGS,
+    workload_names: Sequence[str] = BC_WORKLOADS,
+) -> List[Dict[str, object]]:
+    """One row per (dpc, workload) with speedups over MCN-BC."""
+    rows = []
+    for dpc_name, config_name in dpc_configs:
+        for workload_name in workload_names:
+            workload = build_workload(workload_name, size)
+            results = {
+                system: run_nmp(SystemConfig.named(config_name), workload, system)
+                for system in SYSTEMS
+            }
+            mcn_time = results["mcn"].total_ps
+            rows.append(
+                {
+                    "dpc": dpc_name,
+                    "config": config_name,
+                    "workload": workload_name,
+                    **{
+                        system: mcn_time / results[system].total_ps
+                        for system in SYSTEMS
+                    },
+                }
+            )
+    return rows
+
+
+def summary(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Geomean speedups over MCN-BC (paper: DL 2.58x over MCN-BC,
+    1.77x over ABC-DIMM; AIM-BC above DL)."""
+    means = {s: geomean([float(r[s]) for r in rows]) for s in SYSTEMS}
+    return {
+        **{f"{s}_geomean": v for s, v in means.items()},
+        "dl_over_mcn_bc": means["dimm_link"] / means["mcn"],
+        "dl_over_abc": means["dimm_link"] / means["abc"],
+        "aim_over_dl": means["aim"] / means["dimm_link"],
+    }
+
+
+def main(size: str = "small") -> None:
+    """Print the Fig. 12 grid."""
+    rows = run(size=size)
+    print("Fig. 12: broadcast speedup over MCN-BC")
+    print(
+        format_table(
+            ["DPC", "workload", "MCN-BC", "ABC-DIMM", "AIM-BC", "DIMM-Link"],
+            [
+                (r["dpc"], r["workload"], r["mcn"], r["abc"], r["aim"], r["dimm_link"])
+                for r in rows
+            ],
+            precision=2,
+        )
+    )
+    stats = summary(rows)
+    print("\ngeomeans (paper: DL=2.58x over MCN-BC, 1.77x over ABC-DIMM):")
+    for key, value in stats.items():
+        print(f"  {key}: {value:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Fig. 13 — energy comparison on 16D-8C.
+
+Computes the per-category energy (DRAM, DL links, buses, NMP static, host
+polling/forwarding) for MCN, AIM, and DIMM-Link-opt on every workload.
+The paper reports DIMM-Link saving 1.76x vs MCN (mostly IDC energy) and
+1.07x vs AIM (via end-to-end time), with AIM having the lowest pure-IDC
+energy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table, geomean
+from repro.config import SystemConfig
+from repro.energy.accounting import energy_report
+from repro.experiments.common import P2P_WORKLOADS, build_workload, run_nmp, run_optimized
+
+SYSTEMS = ("mcn", "aim", "dl_opt")
+
+
+def run(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = P2P_WORKLOADS,
+) -> List[Dict[str, object]]:
+    """One row per workload with per-system total and IDC energy (J)."""
+    config = SystemConfig.named(config_name)
+    rows = []
+    for workload_name in workload_names:
+        workload = build_workload(workload_name, size)
+        results = {
+            "mcn": run_nmp(SystemConfig.named(config_name), workload, "mcn"),
+            "aim": run_nmp(SystemConfig.named(config_name), workload, "aim"),
+            "dl_opt": run_optimized(SystemConfig.named(config_name), workload),
+        }
+        row: Dict[str, object] = {"workload": workload_name}
+        for system, result in results.items():
+            report = energy_report(config=config, result=result, polling=result.polling)
+            row[f"{system}_total_j"] = report.total_j
+            row[f"{system}_idc_j"] = report.idc_j
+            row[f"{system}_dram_j"] = report.dram_j
+        rows.append(row)
+    return rows
+
+
+def summary(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Geomean energy ratios (paper: MCN/DL = 1.76x, AIM/DL = 1.07x)."""
+    mcn_over_dl = geomean(
+        [float(r["mcn_total_j"]) / float(r["dl_opt_total_j"]) for r in rows]
+    )
+    aim_over_dl = geomean(
+        [float(r["aim_total_j"]) / float(r["dl_opt_total_j"]) for r in rows]
+    )
+    aim_idc_lowest = all(
+        float(r["aim_idc_j"]) <= float(r["mcn_idc_j"]) for r in rows
+    )
+    return {
+        "mcn_over_dl_energy": mcn_over_dl,
+        "aim_over_dl_energy": aim_over_dl,
+        "aim_has_lowest_idc_energy": float(aim_idc_lowest),
+    }
+
+
+def main(size: str = "small") -> None:
+    """Print the Fig. 13 energy table."""
+    rows = run(size=size)
+    print("Fig. 13: energy (J) on 16D-8C")
+    print(
+        format_table(
+            ["workload", "MCN total", "AIM total", "DL-opt total",
+             "MCN idc", "AIM idc", "DL idc"],
+            [
+                (
+                    r["workload"],
+                    r["mcn_total_j"],
+                    r["aim_total_j"],
+                    r["dl_opt_total_j"],
+                    r["mcn_idc_j"],
+                    r["aim_idc_j"],
+                    r["dl_opt_idc_j"],
+                )
+                for r in rows
+            ],
+            precision=6,
+        )
+    )
+    stats = summary(rows)
+    print("\nratios (paper: MCN/DL = 1.76x, AIM/DL = 1.07x):")
+    for key, value in stats.items():
+        print(f"  {key}: {value:.2f}")
+
+
+if __name__ == "__main__":
+    main()

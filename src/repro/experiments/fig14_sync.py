@@ -1,0 +1,100 @@
+"""Fig. 14 — synchronization sensitivity.
+
+Panel (a): a microbenchmark computing for N instructions between global
+barriers, swept over N, on MCN, AIM, DIMM-Link-Central, and
+DIMM-Link-Hier.  The hierarchical scheme's advantage grows as the
+interval narrows (paper: 5.3x over MCN and 2.2x over AIM at 500
+instructions).  Panel (b): the TS.Pow end-to-end workload (paper:
+DL-Hier 1.46-1.74x over MCN).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.experiments.common import build_workload, run_nmp, threads_for
+from repro.nmp.system import NMPSystem
+from repro.workloads.microbench import SyncInterval
+
+#: (mechanism, sync mode) pairs in the figure.
+SYSTEMS = (
+    ("mcn", "central", "MCN"),
+    ("aim", "central", "AIM"),
+    ("dimm_link", "central", "DL-Central"),
+    ("dimm_link", "hierarchical", "DL-Hier"),
+)
+
+DEFAULT_INTERVALS = (500, 1000, 2000, 5000)
+
+
+def run_intervals(
+    intervals: Sequence[int] = DEFAULT_INTERVALS,
+    config_name: str = "16D-8C",
+    barriers: int = 10,
+) -> List[Dict[str, float]]:
+    """Panel (a): one row per interval with per-system times (us)."""
+    config = SystemConfig.named(config_name)
+    rows = []
+    for interval in intervals:
+        workload = SyncInterval(interval_instructions=interval, barriers=barriers)
+        row: Dict[str, float] = {"interval": interval}
+        for mechanism, mode, label in SYSTEMS:
+            system = NMPSystem(
+                SystemConfig.named(config_name), idc=mechanism, sync_mode=mode
+            )
+            result = system.run(
+                workload.thread_factories(threads_for(config), config.num_dimms),
+                workload_name="sync_interval",
+            )
+            row[label] = result.time_us
+        rows.append(row)
+    return rows
+
+
+def run_tspow(size: str = "small", config_name: str = "16D-8C") -> Dict[str, float]:
+    """Panel (b): TS.Pow end-to-end times per system (us)."""
+    workload = build_workload("ts_pow", size)
+    out = {}
+    for mechanism, mode, label in SYSTEMS:
+        result = run_nmp(
+            SystemConfig.named(config_name), workload, mechanism, sync_mode=mode
+        )
+        out[label] = result.time_us
+    return out
+
+
+def speedups_at(rows: List[Dict[str, float]], interval: int) -> Dict[str, float]:
+    """DL-Hier's speedup over each baseline at one interval."""
+    row = next(r for r in rows if r["interval"] == interval)
+    return {
+        label: row[label] / row["DL-Hier"]
+        for _m, _s, label in SYSTEMS
+        if label != "DL-Hier"
+    }
+
+
+def main() -> None:
+    """Print both Fig. 14 panels."""
+    rows = run_intervals()
+    print("Fig. 14(a): time (us) vs synchronization interval (instructions)")
+    labels = [label for _m, _s, label in SYSTEMS]
+    print(
+        format_table(
+            ["interval"] + labels,
+            [[r["interval"]] + [r[label] for label in labels] for r in rows],
+            precision=1,
+        )
+    )
+    fastest = speedups_at(rows, rows[0]["interval"])
+    print(f"\nDL-Hier speedup at {rows[0]['interval']}-instr interval "
+          f"(paper: 5.3x over MCN, 2.2x over AIM): {fastest}")
+    tspow = run_tspow()
+    print("\nFig. 14(b): TS.Pow end-to-end (us):", tspow)
+    print(f"DL-Hier over MCN: {tspow['MCN'] / tspow['DL-Hier']:.2f}x "
+          f"(paper: 1.46-1.74x)")
+
+
+if __name__ == "__main__":
+    main()

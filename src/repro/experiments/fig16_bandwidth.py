@@ -1,0 +1,78 @@
+"""Fig. 16 — DIMM-Link bandwidth exploration (4 → 64 GB/s per link).
+
+Sweeps the per-link bandwidth and measures DIMM-Link's speedup over the
+CPU baseline for each configuration.  The paper's finding: extra link
+bandwidth helps little at 4D-2C but increasingly at 16D-8C, where the
+larger network diameter makes links the constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table, geomean
+from repro.config import PAPER_CONFIG_NAMES, SystemConfig
+from repro.experiments.common import build_workload, run_cpu, run_nmp
+
+DEFAULT_BANDWIDTHS = (4.0, 8.0, 25.0, 64.0)
+DEFAULT_WORKLOADS = ("hotspot", "bfs", "pagerank")
+
+
+def run(
+    size: str = "small",
+    bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS,
+    config_names: Sequence[str] = PAPER_CONFIG_NAMES,
+    workload_names: Sequence[str] = DEFAULT_WORKLOADS,
+) -> List[Dict[str, object]]:
+    """One row per (config, bandwidth): geomean speedup over the CPU."""
+    rows = []
+    for workload_name in workload_names:
+        workload = build_workload(workload_name, size)
+        cpu = run_cpu(SystemConfig.named("16D-8C"), workload)
+        for config_name in config_names:
+            for gbps in bandwidths:
+                config = SystemConfig.named(config_name)
+                config.link = config.link.scaled(gbps)
+                result = run_nmp(config, workload, "dimm_link")
+                rows.append(
+                    {
+                        "workload": workload_name,
+                        "config": config_name,
+                        "link_gbps": gbps,
+                        "speedup": cpu.total_ps / result.total_ps,
+                    }
+                )
+    return rows
+
+
+def scaling_gain(rows: List[Dict[str, object]], config_name: str) -> float:
+    """Speedup of the fastest link setting over the slowest for a config."""
+    subset = [r for r in rows if r["config"] == config_name]
+    lo = min(float(r["link_gbps"]) for r in subset)
+    hi = max(float(r["link_gbps"]) for r in subset)
+    lo_mean = geomean([float(r["speedup"]) for r in subset if r["link_gbps"] == lo])
+    hi_mean = geomean([float(r["speedup"]) for r in subset if r["link_gbps"] == hi])
+    return hi_mean / lo_mean
+
+
+def main(size: str = "small") -> None:
+    """Print the Fig. 16 sweep."""
+    rows = run(size=size)
+    print("Fig. 16: DIMM-Link speedup over CPU vs per-link bandwidth")
+    print(
+        format_table(
+            ["workload", "config", "link GB/s", "speedup"],
+            [
+                (r["workload"], r["config"], r["link_gbps"], r["speedup"])
+                for r in rows
+            ],
+            precision=2,
+        )
+    )
+    print("\nbandwidth-scaling gain (max/min link bandwidth) per config:")
+    for name in PAPER_CONFIG_NAMES:
+        print(f"  {name}: {scaling_gain(rows, name):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Fig. 17 — DL-group topology exploration on 16D-8C.
+
+Replaces the shipping half-ring chain with Ring, Mesh, and Torus group
+topologies and measures the geomean P2P speedup over the half-ring.
+Paper: Ring 1.11x, Mesh 1.19x, Torus 1.27x — gains from the smaller
+network diameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table, geomean
+from repro.config import SystemConfig
+from repro.experiments.common import build_workload, run_nmp
+from repro.interconnect.topology import TOPOLOGY_NAMES, Topology
+
+DEFAULT_WORKLOADS = ("pagerank", "bfs", "sssp")
+
+
+def run(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = DEFAULT_WORKLOADS,
+    topologies: Sequence[str] = TOPOLOGY_NAMES,
+) -> List[Dict[str, object]]:
+    """One row per (workload, topology) with the run time."""
+    rows = []
+    for workload_name in workload_names:
+        workload = build_workload(workload_name, size)
+        for topology in topologies:
+            config = SystemConfig.named(config_name, topology=topology)
+            result = run_nmp(config, workload, "dimm_link")
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "topology": topology,
+                    "time_us": result.time_us,
+                    "diameter": Topology(
+                        topology, len(config.groups[0])
+                    ).diameter(),
+                }
+            )
+    return rows
+
+
+def speedups_over_half_ring(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Geomean speedup of each topology over the half-ring baseline."""
+    out = {}
+    for topology in {str(r["topology"]) for r in rows}:
+        ratios = []
+        for workload in {str(r["workload"]) for r in rows}:
+            base = next(
+                r for r in rows
+                if r["workload"] == workload and r["topology"] == "half_ring"
+            )
+            cand = next(
+                r for r in rows
+                if r["workload"] == workload and r["topology"] == topology
+            )
+            ratios.append(float(base["time_us"]) / float(cand["time_us"]))
+        out[topology] = geomean(ratios)
+    return out
+
+
+def main(size: str = "small") -> None:
+    """Print the Fig. 17 exploration."""
+    rows = run(size=size)
+    print("Fig. 17: topology exploration on 16D-8C")
+    print(
+        format_table(
+            ["workload", "topology", "diameter", "time (us)"],
+            [
+                (r["workload"], r["topology"], r["diameter"], r["time_us"])
+                for r in rows
+            ],
+            precision=1,
+        )
+    )
+    print("\ngeomean speedup over half-ring "
+          "(paper: ring 1.11x, mesh 1.19x, torus 1.27x):")
+    for topology, value in sorted(speedups_over_half_ring(rows).items()):
+        print(f"  {topology}: {value:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""§V-C headline numbers: the paper's abstract-level claims in one table.
+
+Combines the Fig. 10 and Fig. 12 grids into the five numbers the paper
+leads with: DL-opt's geomean speedup over the CPU baseline and its
+ratios over MCN, AIM, DL-base, and ABC-DIMM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.experiments import fig10_p2p, fig12_broadcast
+
+#: the paper's published values, for side-by-side reporting.
+PAPER = {
+    "dl_opt_over_cpu": 5.93,
+    "dl_opt_over_mcn": 2.42,
+    "dl_opt_over_aim": 1.87,
+    "dl_opt_over_dl_base": 1.12,
+    "dl_over_abc": 1.77,
+}
+
+
+def run(size: str = "small", quick: bool = False) -> Dict[str, float]:
+    """Measure all five headline quantities.
+
+    ``quick=True`` trims the grids (two configs, two workloads) for
+    benches; the full grids match EXPERIMENTS.md.
+    """
+    if quick:
+        p2p_rows = fig10_p2p.run(
+            size=size,
+            config_names=("4D-2C", "16D-8C"),
+            workload_names=("pagerank", "hotspot"),
+        )
+        bc_rows = fig12_broadcast.run(
+            size=size,
+            dpc_configs=(("2DPC", "16D-8C"),),
+            workload_names=("spmv_bc",),
+        )
+    else:
+        p2p_rows = fig10_p2p.run(size=size)
+        bc_rows = fig12_broadcast.run(size=size)
+    p2p = fig10_p2p.summary(p2p_rows)
+    bc = fig12_broadcast.summary(bc_rows)
+    return {
+        "dl_opt_over_cpu": p2p["dl_opt_geomean"],
+        "dl_opt_over_mcn": p2p["dl_opt_over_mcn"],
+        "dl_opt_over_aim": p2p["dl_opt_over_aim"],
+        "dl_opt_over_dl_base": p2p["dl_opt_over_dl_base"],
+        "dl_over_abc": bc["dl_over_abc"],
+    }
+
+
+def main(size: str = "small") -> None:
+    """Print measured vs paper headline numbers."""
+    measured = run(size=size)
+    print("§V-C headline numbers")
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [(key, PAPER[key], measured[key]) for key in PAPER],
+            precision=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Table I — analytic peak-bandwidth comparison of IDC methods."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.config import PAPER_CONFIG_NAMES, SystemConfig
+from repro.idc.analytic import num_links, peak_bandwidth
+
+
+def run(config_names=PAPER_CONFIG_NAMES) -> List[Dict[str, float]]:
+    """Evaluate Table I's formulas for each paper configuration."""
+    rows = []
+    for name in config_names:
+        config = SystemConfig.named(name)
+        model = peak_bandwidth(config)
+        rows.append(
+            {
+                "config": name,
+                "links": num_links(config),
+                **model.as_dict(),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the Table I bandwidth model."""
+    rows = run()
+    print("Table I: peak IDC bandwidth (GB/s) per mechanism")
+    print(
+        format_table(
+            ["config", "#links", "CPU-fwd", "intra-ch BC", "dedicated bus", "DIMM-Link"],
+            [
+                (
+                    r["config"],
+                    r["links"],
+                    r["cpu_forwarding"],
+                    r["intra_channel_broadcast"],
+                    r["dedicated_bus"],
+                    r["dimm_link"],
+                )
+                for r in rows
+            ],
+            precision=1,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

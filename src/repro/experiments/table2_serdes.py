@@ -1,0 +1,52 @@
+"""Table II — SerDes technology comparison (rate, reach, energy)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.core.serdes import table2
+
+
+def run() -> List[Dict[str, object]]:
+    """One row per SerDes technology, plus the pins a 25 GB/s link needs."""
+    rows = []
+    for tech in table2().values():
+        rows.append(
+            {
+                "name": tech.name,
+                "media": tech.media,
+                "rate_gbps_per_pin": tech.signal_rate_gbps_per_pin,
+                "reach_mm": tech.reach_mm,
+                "energy_pj_per_bit": tech.energy_pj_per_bit,
+                "pins_for_25GBps": tech.pins_for_bandwidth(25.0),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print Table II."""
+    rows = run()
+    print("Table II: SerDes techniques")
+    print(
+        format_table(
+            ["tech", "media", "Gb/s/pin", "reach (mm)", "pJ/b", "pins for 25 GB/s"],
+            [
+                (
+                    r["name"],
+                    r["media"],
+                    r["rate_gbps_per_pin"],
+                    r["reach_mm"],
+                    r["energy_pj_per_bit"],
+                    r["pins_for_25GBps"],
+                )
+                for r in rows
+            ],
+            precision=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

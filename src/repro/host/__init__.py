@@ -1,0 +1,28 @@
+"""Host-side models: CPU baseline, memory channels, polling, forwarding."""
+
+from repro.host.cpu import HostCPUSystem, HostCore
+from repro.host.forwarding import ForwardController
+from repro.host.memchannel import MemoryChannel
+from repro.host.polling import (
+    POLLING_STRATEGIES,
+    BaselinePolling,
+    InterruptPolling,
+    PollingStrategy,
+    ProxyInterruptPolling,
+    ProxyPolling,
+    make_polling,
+)
+
+__all__ = [
+    "HostCPUSystem",
+    "HostCore",
+    "ForwardController",
+    "MemoryChannel",
+    "POLLING_STRATEGIES",
+    "BaselinePolling",
+    "InterruptPolling",
+    "PollingStrategy",
+    "ProxyInterruptPolling",
+    "ProxyPolling",
+    "make_polling",
+]

@@ -1,0 +1,185 @@
+"""Host-CPU baseline system (the paper's 16-core OoO reference).
+
+Runs the same workload op streams on host cores: every access crosses the
+DIMM's memory channel (HA mode), with a fixed LLC hit fraction served
+on-chip.  Threads beyond the core count time-multiplex, scaling compute
+time; memory contention emerges from the shared channel buses and the
+DRAM bank model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.dram.module import DRAMModule
+from repro.dram.timing import preset
+from repro.errors import WorkloadError
+from repro.host.memchannel import MemoryChannel
+from repro.nmp.executor import ThreadExecutor
+from repro.nmp.results import RunResult
+from repro.sim.engine import SimEvent, Simulator
+from repro.sim.stats import StatRegistry
+from repro.sim.time import ns
+from repro.workloads.ops import Broadcast, Write
+
+#: outstanding-miss window per host hardware thread.
+HOST_WINDOW = 10
+#: latency of the software barrier release after the last arrival.
+SW_BARRIER_PS = ns(150.0)
+
+
+def _deterministic_hit(counter: int, hit_rate: float) -> bool:
+    return ((counter * 0x9E3779B1) >> 8) % 1000 < int(hit_rate * 1000)
+
+
+class _SoftwareBarrier:
+    """Shared-memory sense-reversing barrier for the CPU baseline."""
+
+    def __init__(self, sim: Simulator, participants: int) -> None:
+        self.sim = sim
+        self.participants = participants
+        self._arrived = 0
+        self._waiters: List[SimEvent] = []
+
+    def enter(self) -> SimEvent:
+        event = self.sim.event(name="cpu.barrier")
+        self._arrived += 1
+        self._waiters.append(event)
+        if self._arrived == self.participants:
+            waiters, self._waiters = self._waiters, []
+            self._arrived = 0
+            self.sim.schedule(
+                SW_BARRIER_PS, lambda _arg: [w.succeed(None) for w in waiters], None
+            )
+        return event
+
+
+class HostCore(ThreadExecutor):
+    """One host hardware thread executing a workload thread."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: "HostCPUSystem",
+        index: int,
+        compute_scale: float,
+        stats: StatRegistry,
+    ) -> None:
+        host = system.config.host
+        super().__init__(
+            sim,
+            freq_ghz=host.freq_ghz * host.ipc,
+            window=HOST_WINDOW,
+            stats=stats,
+            name=f"cpu.core{index}",
+            compute_scale=compute_scale,
+        )
+        self.system = system
+        self._access_counter = 0
+
+    def memory_access(self, op) -> Tuple[Optional[SimEvent], bool]:
+        host = self.system.config.host
+        is_write = isinstance(op, Write)
+        self._access_counter += 1
+        if not is_write and _deterministic_hit(self._access_counter, host.llc_hit_rate):
+            self.stats.add("core.cache_hits")
+            hit = self.sim.event(name=f"{self.name}.llc")
+            self.sim.schedule(
+                ns(host.llc_latency_ns), lambda _arg: hit.succeed(op.nbytes), None
+            )
+            return hit, False
+        return self.system.memory_request(op.dimm, op.offset, op.nbytes, is_write), False
+
+    def broadcast(self, op: Broadcast) -> SimEvent:
+        # shared memory: a broadcast is just the producer's single write
+        return self.system.memory_request(0, op.offset, op.nbytes, True)
+
+    def barrier(self, thread_id: int) -> SimEvent:
+        return self.system.barrier.enter()
+
+
+class HostCPUSystem:
+    """The 16-core CPU baseline machine."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.stats = StatRegistry()
+        import dataclasses
+
+        # the host sustains only a fraction of peak channel bandwidth on
+        # these kernels' irregular access patterns (HostConfig docstring)
+        derated = dataclasses.replace(
+            config.channel,
+            bandwidth_gbps=config.channel.bandwidth_gbps
+            * config.host.channel_efficiency,
+        )
+        self.channels = [
+            MemoryChannel(
+                self.sim, ch, config.dimms_on_channel(ch), derated, self.stats
+            )
+            for ch in range(config.num_channels)
+        ]
+        timing = preset(config.dram_preset)
+        self.drams = [
+            DRAMModule(
+                self.sim,
+                timing,
+                ranks=config.ranks_per_dimm,
+                stats=self.stats.scope(f"dimm{d}"),
+                name=f"dimm{d}.dram",
+            )
+            for d in range(config.num_dimms)
+        ]
+        self.barrier: _SoftwareBarrier | None = None
+
+    def memory_request(
+        self, dimm: int, offset: int, nbytes: int, is_write: bool
+    ) -> SimEvent:
+        """One host memory access: channel bus + DRAM on the target DIMM."""
+        done = self.sim.event(name="cpu.mem")
+        channel = self.channels[self.config.channel_of(dimm)]
+        dram = self.drams[dimm]
+
+        def proc():
+            # command/data cross the channel; the DRAM access overlaps the
+            # burst, so charge bus occupancy plus the bank completion time.
+            yield channel.transfer(nbytes, kind="data")
+            yield dram.access(offset, nbytes, is_write)
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="cpu.mem")
+        return done
+
+    def run(
+        self,
+        thread_factories: List[Callable[[], Iterator]],
+        placement: Optional[List[int]] = None,
+        workload_name: str = "kernel",
+    ) -> RunResult:
+        """Execute a kernel on the host cores (placement is ignored)."""
+        if not thread_factories:
+            raise WorkloadError("kernel needs at least one thread")
+        num_threads = len(thread_factories)
+        compute_scale = max(1.0, num_threads / self.config.host.cores)
+        self.barrier = _SoftwareBarrier(self.sim, num_threads)
+        processes = []
+        for index, factory in enumerate(thread_factories):
+            core = HostCore(self.sim, self, index, compute_scale, self.stats)
+            processes.append(core.run_thread(index, factory()))
+        start = self.sim.now
+        self.sim.run()
+        unfinished = [p.name for p in processes if not p.finished]
+        if unfinished:
+            raise WorkloadError(f"kernel deadlocked; stuck threads: {unfinished}")
+        ends = [p.value - start for p in processes]
+        return RunResult(
+            system_name=f"cpu-{self.config.name}",
+            mechanism="cpu",
+            workload=workload_name,
+            time_ps=max(ends),
+            thread_end_ps=ends,
+            stats=self.stats,
+            bus_occupancy=[channel.occupancy() for channel in self.channels],
+        )

@@ -1,0 +1,200 @@
+"""Host polling strategies (Sec. IV-A, Table III).
+
+The host learns about pending forwarding requests in one of four ways:
+
+* ``baseline`` — a polling thread continuously scans *every* DIMM's
+  request register.  Polls occupy the memory buses whether or not any
+  request exists, so each channel carries a constant background load.
+* ``baseline+interrupt`` — DIMMs raise ALERT_N; the host then scans all
+  DIMMs of the interrupting channel.  No background load, but every event
+  pays interrupt delivery + context-switch latency.
+* ``proxy`` — requests are registered (via DIMM-Link) at one proxy DIMM
+  per DL group; the host only polls proxies, on a relaxed repoll period.
+* ``proxy+interrupt`` — ALERT_N plus a single proxy read per event.
+
+Each strategy exposes :meth:`notice` — an event firing once the host has
+noticed a request registered *now* at a DIMM — and configures whatever
+constant bus load its scanning causes.  The strategy object is shared by
+every IDC mechanism that relies on CPU forwarding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol
+
+from repro.config import HostConfig, SystemConfig
+from repro.errors import ConfigError
+from repro.host.memchannel import MemoryChannel
+from repro.sim.engine import SimEvent, Simulator
+from repro.sim.stats import StatRegistry
+from repro.sim.time import ns
+
+POLLING_STRATEGIES = ("baseline", "baseline+interrupt", "proxy", "proxy+interrupt")
+
+
+class PollingStrategy(Protocol):
+    """Interface every polling strategy implements."""
+
+    name: str
+    #: whether requests must first be registered at the group proxy.
+    uses_proxy: bool
+
+    def configure(self, channels: List[MemoryChannel]) -> None:
+        """Apply background bus loads / capture channel handles."""
+
+    def notice(self, dimm_id: int) -> SimEvent:
+        """Event firing when the host notices a request registered now."""
+
+
+class _Base:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        stats: StatRegistry,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.host: HostConfig = config.host
+        self.stats = stats
+        self.channels: List[MemoryChannel] = []
+
+    def configure(self, channels: List[MemoryChannel]) -> None:
+        self.channels = list(channels)
+
+    def _fire_after(self, delay_ps: int) -> SimEvent:
+        event = self.sim.event(name="poll.notice")
+        self.sim.schedule(delay_ps, lambda _arg: event.succeed(None), None)
+        self.stats.add("poll.notices")
+        self.stats.histogram("poll.notice_delay_ns").record(delay_ps / 1000)
+        return event
+
+
+class BaselinePolling(_Base):
+    """Continuous per-channel scan of all DIMM request registers.
+
+    Every channel's polling loop reads one of its DIMMs every
+    ``poll_visit_ns`` (channels poll in parallel through the MC queues), so
+    each bus carries a constant ``poll_busy / poll_visit`` polling load —
+    the ~32% "Base" occupancy of Fig. 15-(b) — regardless of DIMM count.
+    """
+
+    name = "baseline"
+    uses_proxy = False
+
+    def configure(self, channels: List[MemoryChannel]) -> None:
+        super().configure(channels)
+        visit = ns(self.host.poll_visit_ns)
+        busy = ns(self.host.poll_busy_ns)
+        for channel in channels:
+            channel.set_polling_load(min(0.95, busy / visit))
+
+    def notice(self, dimm_id: int) -> SimEvent:
+        visit = ns(self.host.poll_visit_ns)
+        dimms_here = self.config.dimms_on_channel(self.config.channel_of(dimm_id))
+        loop = visit * len(dimms_here)
+        # round-robin within the channel: DIMM at index k is visited at
+        # t = k*visit (mod loop)
+        phase = (dimms_here.index(dimm_id) * visit - self.sim.now) % loop
+        return self._fire_after(phase + visit)
+
+
+class InterruptPolling(_Base):
+    """ALERT_N interrupt, then a scan of the interrupting channel."""
+
+    name = "baseline+interrupt"
+    uses_proxy = False
+
+    def notice(self, dimm_id: int) -> SimEvent:
+        channel = self.channels[self.config.channel_of(dimm_id)]
+        done = self.sim.event(name="poll.notice")
+
+        def proc():
+            yield ns(self.host.interrupt_latency_ns)
+            # ALERT_N is shared: scan every DIMM on the channel to find
+            # the requester (Sec. IV-A).
+            for _ in channel.dimm_ids:
+                yield channel.transfer(self.host.poll_read_bytes, kind="poll")
+                self.stats.add("poll.scan_reads")
+            self.stats.add("poll.notices")
+            done.succeed(None)
+
+        self.sim.process(proc(), name="poll.interrupt")
+        return done
+
+
+class ProxyPolling(_Base):
+    """Poll only the proxy DIMM of each DL group (Sec. IV-A)."""
+
+    name = "proxy"
+    uses_proxy = True
+
+    def __init__(self, sim: Simulator, config: SystemConfig, stats: StatRegistry) -> None:
+        super().__init__(sim, config, stats)
+        self._proxies: Dict[int, int] = {
+            g: config.master_dimm(g) for g in range(len(config.groups))
+        }
+
+    def proxy_of(self, dimm_id: int) -> int:
+        """The proxy DIMM for a DIMM's group."""
+        return self._proxies[self.config.group_of(dimm_id)]
+
+    def configure(self, channels: List[MemoryChannel]) -> None:
+        super().configure(channels)
+        busy = ns(self.host.poll_busy_ns)
+        repoll = ns(self.host.proxy_repoll_ns)
+        for proxy in self._proxies.values():
+            channel = channels[self.config.channel_of(proxy)]
+            channel.set_polling_load(min(0.95, busy / repoll))
+
+    def notice(self, dimm_id: int) -> SimEvent:
+        repoll = ns(self.host.proxy_repoll_ns)
+        proxy = self.proxy_of(dimm_id)
+        group = self.config.group_of(proxy)
+        # proxies are visited on a staggered repoll schedule
+        phase = (group * ns(self.host.poll_visit_ns) - self.sim.now) % repoll
+        return self._fire_after(phase + ns(self.host.poll_visit_ns))
+
+
+class ProxyInterruptPolling(ProxyPolling):
+    """ALERT_N interrupt plus a single proxy read (lowest bus cost)."""
+
+    name = "proxy+interrupt"
+    uses_proxy = True
+
+    def configure(self, channels: List[MemoryChannel]) -> None:
+        _Base.configure(self, channels)  # no background load
+
+    def notice(self, dimm_id: int) -> SimEvent:
+        proxy = self.proxy_of(dimm_id)
+        channel = self.channels[self.config.channel_of(proxy)]
+        done = self.sim.event(name="poll.notice")
+
+        def proc():
+            yield ns(self.host.interrupt_latency_ns)
+            yield channel.transfer(self.host.poll_read_bytes, kind="poll")
+            self.stats.add("poll.scan_reads")
+            self.stats.add("poll.notices")
+            done.succeed(None)
+
+        self.sim.process(proc(), name="poll.proxy_interrupt")
+        return done
+
+
+def make_polling(
+    strategy: str, sim: Simulator, config: SystemConfig, stats: StatRegistry
+) -> PollingStrategy:
+    """Factory over :data:`POLLING_STRATEGIES` names."""
+    classes = {
+        "baseline": BaselinePolling,
+        "baseline+interrupt": InterruptPolling,
+        "proxy": ProxyPolling,
+        "proxy+interrupt": ProxyInterruptPolling,
+    }
+    try:
+        cls = classes[strategy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown polling strategy {strategy!r}; choose from {POLLING_STRATEGIES}"
+        ) from None
+    return cls(sim, config, stats)

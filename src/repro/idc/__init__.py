@@ -1,0 +1,52 @@
+"""IDC mechanisms: the four inter-DIMM transports of Table I."""
+
+from typing import Dict, Type
+
+from repro.errors import ConfigError
+from repro.idc.analytic import BandwidthModel, num_links, peak_bandwidth, per_dimm_bandwidth
+from repro.idc.base import IDCMechanism
+from repro.idc.cpu_forwarding import CPUForwardingIDC
+from repro.idc.dedicated_bus import DedicatedBusIDC
+from repro.idc.intra_channel_bc import IntraChannelBroadcastIDC
+
+
+def _dimm_link_cls() -> Type[IDCMechanism]:
+    from repro.core.dimmlink import DIMMLinkIDC
+
+    return DIMMLinkIDC
+
+
+def mechanism_names() -> tuple:
+    """Registered mechanism names."""
+    return ("mcn", "aim", "abc", "dimm_link")
+
+
+def make_mechanism(name: str) -> IDCMechanism:
+    """Instantiate an IDC mechanism by name."""
+    table: Dict[str, Type[IDCMechanism]] = {
+        "mcn": CPUForwardingIDC,
+        "aim": DedicatedBusIDC,
+        "abc": IntraChannelBroadcastIDC,
+    }
+    if name == "dimm_link":
+        return _dimm_link_cls()()
+    try:
+        return table[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown IDC mechanism {name!r}; choose from {mechanism_names()}"
+        ) from None
+
+
+__all__ = [
+    "BandwidthModel",
+    "IDCMechanism",
+    "CPUForwardingIDC",
+    "DedicatedBusIDC",
+    "IntraChannelBroadcastIDC",
+    "make_mechanism",
+    "mechanism_names",
+    "num_links",
+    "peak_bandwidth",
+    "per_dimm_bandwidth",
+]

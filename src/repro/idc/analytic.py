@@ -1,0 +1,68 @@
+"""Analytic peak-bandwidth model of IDC methods (Table I).
+
+The paper's Table I states the theoretical maximum IDC bandwidth of each
+method in terms of the per-channel bandwidth β:
+
+* CPU-forwarding: ``#Channel x β / 2`` (every byte crosses two channels),
+* intra-channel broadcast: ``#DIMM x β`` (each channel's bus delivers β to
+  all of its DIMMs simultaneously),
+* dedicated bus: ``β`` (one shared multi-drop bus),
+* DIMM-Link: ``#Link x β_link`` (adjacent links carry traffic concurrently).
+
+These closed forms are used by the Table I experiment and as sanity
+oracles for the event-driven models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Peak aggregate IDC bandwidth (GB/s) per mechanism for one config."""
+
+    cpu_forwarding: float
+    intra_channel_broadcast: float
+    dedicated_bus: float
+    dimm_link: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Mechanism name -> GB/s."""
+        return {
+            "cpu_forwarding": self.cpu_forwarding,
+            "intra_channel_broadcast": self.intra_channel_broadcast,
+            "dedicated_bus": self.dedicated_bus,
+            "dimm_link": self.dimm_link,
+        }
+
+
+def num_links(config: SystemConfig) -> int:
+    """Bidirectional DL links in the system (chain edges per group)."""
+    return sum(max(0, len(group) - 1) for group in config.groups)
+
+
+def peak_bandwidth(config: SystemConfig) -> BandwidthModel:
+    """Evaluate Table I's formulas for a system configuration."""
+    beta = config.channel.bandwidth_gbps
+    return BandwidthModel(
+        cpu_forwarding=config.num_channels * beta / 2,
+        intra_channel_broadcast=config.num_dimms * beta,
+        dedicated_bus=beta,
+        dimm_link=num_links(config) * config.link.bandwidth_gbps,
+    )
+
+
+def per_dimm_bandwidth(config: SystemConfig) -> Dict[str, float]:
+    """Per-DIMM share of each method's peak bandwidth (GB/s)."""
+    peak = peak_bandwidth(config)
+    n = config.num_dimms
+    return {
+        "cpu_forwarding": peak.cpu_forwarding / n,
+        "intra_channel_broadcast": peak.intra_channel_broadcast / n,
+        "dedicated_bus": peak.dedicated_bus / n,
+        "dimm_link": peak.dimm_link / n,
+    }

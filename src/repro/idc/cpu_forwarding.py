@@ -1,0 +1,109 @@
+"""CPU-forwarding IDC (MCN [3] / UPMEM [32], Table I column 2).
+
+Every inter-DIMM transfer goes through the host: the requesting DIMM
+registers a request in a memory-mapped register, the host's polling loop
+notices it, reads the packet over the source channel, and writes it over
+the destination channel.  Reads additionally pay the return trip for the
+data.  ``MCN-BC`` (Fig. 12's baseline) emulates broadcast with one host
+read plus a per-destination write.
+"""
+
+from __future__ import annotations
+
+from repro.idc.base import IDCMechanism
+from repro.protocol.packet import FLIT_BYTES, wire_bytes_for_transfer
+from repro.sim.engine import AllOf, SimEvent
+from repro.sim.time import ns
+
+#: wire size of a request/notification packet.
+CONTROL_WIRE_BYTES = FLIT_BYTES
+
+
+class CPUForwardingIDC(IDCMechanism):
+    """MCN-style host-forwarded inter-DIMM communication."""
+
+    name = "mcn"
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        self.sim = system.sim
+        self.stats = system.stats
+
+    def remote_read(self, src_dimm, dst_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="mcn.read")
+
+        def proc():
+            yield system.forwarder.forward(src_dimm, dst_dimm, CONTROL_WIRE_BYTES)
+            yield system.dimms[dst_dimm].mc.local_access(offset, nbytes, False)
+            wire = wire_bytes_for_transfer(nbytes)
+            yield system.forwarder.forward(dst_dimm, src_dimm, wire, notice_dimm=-1)
+            self.stats.add("idc.forwarded_bytes", nbytes)
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="mcn.read")
+        return done
+
+    def remote_write(self, src_dimm, dst_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="mcn.write")
+
+        def proc():
+            wire = wire_bytes_for_transfer(nbytes)
+            yield system.forwarder.forward(src_dimm, dst_dimm, wire)
+            yield system.dimms[dst_dimm].mc.local_access(offset, nbytes, True)
+            self.stats.add("idc.forwarded_bytes", nbytes)
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="mcn.write")
+        return done
+
+    def broadcast(self, src_dimm, offset, nbytes) -> SimEvent:
+        """MCN-BC: one host read, then one write per destination DIMM."""
+        system = self._require_system()
+        done = self.sim.event(name="mcn.bc")
+        config = system.config
+        wire = wire_bytes_for_transfer(nbytes)
+
+        def proc():
+            yield system.polling.notice(src_dimm)
+            src_channel = system.channels[config.channel_of(src_dimm)]
+            yield src_channel.transfer(wire, kind="fwd")
+            yield ns(config.host.forward_latency_ns)
+
+            def deliver(dst):
+                # every per-DIMM copy consumes the host forwarding engine
+                yield system.forwarder.engine.transfer(wire)
+                channel = system.channels[config.channel_of(dst)]
+                yield channel.transfer(wire, kind="fwd")
+                yield system.dimms[dst].mc.local_access(offset, nbytes, True)
+                self.stats.add("idc.forwarded_bytes", nbytes)
+
+            deliveries = [
+                self.sim.process(deliver(dst), name="mcn.bc.deliver")
+                for dst in range(config.num_dimms)
+                if dst != src_dimm
+            ]
+            yield AllOf(deliveries)
+            self.stats.add("idc.broadcast_ops")
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="mcn.bc")
+        return done
+
+    def message(self, src_dimm, dst_dimm, nbytes, expected: bool = False) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="mcn.msg")
+
+        def proc():
+            yield system.forwarder.forward(
+                src_dimm,
+                dst_dimm,
+                CONTROL_WIRE_BYTES,
+                notice_dimm=-1 if expected else None,
+            )
+            self.stats.add("idc.messages")
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="mcn.msg")
+        return done

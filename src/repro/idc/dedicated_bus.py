@@ -1,0 +1,102 @@
+"""Dedicated-bus IDC (AIM [11], Table I column 4).
+
+All DIMMs share one extra multi-drop bus; NMP cores transfer data on it
+without host involvement.  The bus's bandwidth matches a memory channel
+(Sec. V-B), so per-DIMM bandwidth shrinks as β / #DIMM under contention —
+the unscalability the paper highlights.  Broadcast is a single bus
+transfer that every DIMM snoops (AIM-BC in Fig. 12).
+"""
+
+from __future__ import annotations
+
+from repro.idc.base import IDCMechanism
+from repro.protocol.packet import FLIT_BYTES, wire_bytes_for_transfer
+from repro.sim.engine import AllOf, SimEvent
+from repro.sim.resource import BandwidthResource
+from repro.sim.time import ns
+
+#: wire size of a snooped command packet.
+CONTROL_WIRE_BYTES = FLIT_BYTES
+
+
+class DedicatedBusIDC(IDCMechanism):
+    """AIM-style dedicated inter-DIMM bus."""
+
+    name = "aim"
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        self.sim = system.sim
+        self.stats = system.stats
+        channel = system.config.channel
+        self.bus = BandwidthResource(
+            system.sim,
+            bytes_per_ns=channel.bandwidth_gbps,
+            latency_ps=ns(channel.bus_latency_ns),
+            name="aim.bus",
+        )
+
+    def _bus_transfer(self, wire_bytes: int) -> SimEvent:
+        self.stats.add("idc.dedicated_bus_bytes", wire_bytes)
+        return self.bus.transfer(wire_bytes)
+
+    def remote_read(self, src_dimm, dst_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="aim.read")
+
+        def proc():
+            # the read command is broadcast; the owner snoops and replies
+            yield self._bus_transfer(CONTROL_WIRE_BYTES)
+            yield system.dimms[dst_dimm].mc.local_access(offset, nbytes, False)
+            yield self._bus_transfer(wire_bytes_for_transfer(nbytes))
+            self.stats.add("idc.bus_payload_bytes", nbytes)
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="aim.read")
+        return done
+
+    def remote_write(self, src_dimm, dst_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="aim.write")
+
+        def proc():
+            yield self._bus_transfer(wire_bytes_for_transfer(nbytes))
+            yield system.dimms[dst_dimm].mc.local_access(offset, nbytes, True)
+            self.stats.add("idc.bus_payload_bytes", nbytes)
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="aim.write")
+        return done
+
+    def broadcast(self, src_dimm, offset, nbytes) -> SimEvent:
+        """AIM-BC: one bus transfer reaches every snooping DIMM."""
+        system = self._require_system()
+        done = self.sim.event(name="aim.bc")
+
+        def proc():
+            yield self._bus_transfer(wire_bytes_for_transfer(nbytes))
+            writes = [
+                system.dimms[dst].mc.local_access(offset, nbytes, True)
+                for dst in range(system.config.num_dimms)
+                if dst != src_dimm
+            ]
+            self.stats.add(
+                "idc.bus_payload_bytes", nbytes * (system.config.num_dimms - 1)
+            )
+            yield AllOf(writes)
+            self.stats.add("idc.broadcast_ops")
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="aim.bc")
+        return done
+
+    def message(self, src_dimm, dst_dimm, nbytes, expected: bool = False) -> SimEvent:
+        done = self.sim.event(name="aim.msg")
+
+        def proc():
+            yield self._bus_transfer(CONTROL_WIRE_BYTES)
+            self.stats.add("idc.messages")
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="aim.msg")
+        return done

@@ -1,0 +1,75 @@
+"""Intra-channel broadcast IDC (ABC-DIMM [76], Table I column 3).
+
+ABC-DIMM exploits the multi-drop structure of a memory channel: a single
+host-issued broadcast-read delivers data to every DIMM on the source
+channel simultaneously, and a broadcast-write per destination channel
+reaches all of that channel's DIMMs at once.  Point-to-point transfers and
+inter-channel hops still use CPU forwarding, so this mechanism subclasses
+:class:`~repro.idc.cpu_forwarding.CPUForwardingIDC` and overrides only
+the broadcast path.
+"""
+
+from __future__ import annotations
+
+from repro.idc.cpu_forwarding import CPUForwardingIDC
+from repro.protocol.packet import wire_bytes_for_transfer
+from repro.sim.engine import AllOf, SimEvent
+from repro.sim.time import ns
+
+
+class IntraChannelBroadcastIDC(CPUForwardingIDC):
+    """ABC-DIMM-style channel-wise broadcast over CPU forwarding."""
+
+    name = "abc"
+
+    def broadcast(self, src_dimm, offset, nbytes) -> SimEvent:
+        system = self._require_system()
+        done = self.sim.event(name="abc.bc")
+        config = system.config
+        wire = wire_bytes_for_transfer(nbytes)
+        src_channel_id = config.channel_of(src_dimm)
+
+        def proc():
+            # the host issues the customized broadcast-read command
+            yield system.polling.notice(src_dimm)
+            src_channel = system.channels[src_channel_id]
+            # one broadcast-read: host AND the source channel's other DIMMs
+            # all receive the data simultaneously
+            yield src_channel.transfer(wire, kind="fwd")
+            yield ns(config.host.forward_latency_ns)
+
+            def same_channel_store(dst):
+                yield system.dimms[dst].mc.local_access(offset, nbytes, True)
+                self.stats.add("idc.channel_bc_bytes", nbytes)
+
+            def other_channel(channel_id):
+                # the host copies the payload once per destination channel
+                yield system.forwarder.engine.transfer(wire)
+                channel = system.channels[channel_id]
+                # one broadcast-write serves every DIMM of the channel
+                yield channel.transfer(wire, kind="fwd")
+                stores = [
+                    system.dimms[dst].mc.local_access(offset, nbytes, True)
+                    for dst in config.dimms_on_channel(channel_id)
+                ]
+                self.stats.add(
+                    "idc.forwarded_bytes", nbytes * len(config.dimms_on_channel(channel_id))
+                )
+                yield AllOf(stores)
+
+            branches = [
+                self.sim.process(same_channel_store(dst), name="abc.bc.local")
+                for dst in config.dimms_on_channel(src_channel_id)
+                if dst != src_dimm
+            ]
+            branches.extend(
+                self.sim.process(other_channel(ch), name="abc.bc.fwd")
+                for ch in range(config.num_channels)
+                if ch != src_channel_id
+            )
+            yield AllOf(branches)
+            self.stats.add("idc.broadcast_ops")
+            done.succeed(nbytes)
+
+        self.sim.process(proc(), name="abc.bc")
+        return done

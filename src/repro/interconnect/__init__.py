@@ -1,0 +1,6 @@
+"""Link-level network substrate: topologies, routing, packet movement."""
+
+from repro.interconnect.network import PacketNetwork
+from repro.interconnect.topology import TOPOLOGY_NAMES, Topology, build_edges
+
+__all__ = ["PacketNetwork", "TOPOLOGY_NAMES", "Topology", "build_edges"]

@@ -1,0 +1,198 @@
+"""Event-level packet network over a :class:`Topology`.
+
+Each directed edge owns a :class:`~repro.sim.resource.BandwidthResource`
+(one direction of a full-duplex SerDes link).  Packets move store-and-
+forward: at every hop the packet occupies the link for
+``wire_bytes / bandwidth`` plus a fixed per-hop router latency, so path
+length, link contention, and congestion all emerge from the event model —
+the effects Fig. 16/17 of the paper attribute to network diameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import RoutingError
+from repro.interconnect.topology import Topology
+from repro.sim.engine import AllOf, SimEvent, Simulator
+from repro.sim.resource import BandwidthResource
+from repro.sim.stats import StatRegistry
+
+
+class PacketNetwork:
+    """A routed group network with per-direction link bandwidth."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        bandwidth_gbps: float,
+        hop_latency_ps: int,
+        wire_latency_ps: int,
+        stats: StatRegistry,
+        name: str = "dl",
+        error_rate: float = 0.0,
+        retry_penalty_ps: int = 500_000,
+    ) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise RoutingError(f"{name}: error rate {error_rate} outside [0, 1)")
+        self.sim = sim
+        self.topology = topology
+        self.hop_latency_ps = hop_latency_ps
+        self.stats = stats
+        self.name = name
+        #: per-hop probability of a CRC failure forcing a DLL retransmit.
+        self.error_rate = error_rate
+        #: ACK-timeout + retransmission serialisation cost per error.
+        self.retry_penalty_ps = retry_penalty_ps
+        self._error_counter = 0
+        self._links: Dict[Tuple[int, int], BandwidthResource] = {}
+        for a, b in topology.edges:
+            for src, dst in ((a, b), (b, a)):
+                self._links[(src, dst)] = BandwidthResource(
+                    sim,
+                    bytes_per_ns=bandwidth_gbps,
+                    latency_ps=wire_latency_ps,
+                    name=f"{name}.link{src}->{dst}",
+                )
+
+    @property
+    def links(self) -> Dict[Tuple[int, int], BandwidthResource]:
+        """Directed-edge -> link resource map (read-only use)."""
+        return self._links
+
+    def link(self, src: int, dst: int) -> BandwidthResource:
+        """The directed link from ``src`` to ``dst`` (must be adjacent)."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise RoutingError(
+                f"{self.name}: no link {src}->{dst} in {self.topology.name}"
+            ) from None
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest-path hop count between two positions."""
+        return self.topology.hops(src, dst)
+
+    def send(self, src: int, dst: int, wire_bytes: int) -> SimEvent:
+        """Route one packet ``src -> dst``; event fires on delivery."""
+        if src == dst:
+            event = self.sim.event(name=f"{self.name}.send.self")
+            self.sim.schedule(0, lambda _arg: event.succeed(wire_bytes), None)
+            return event
+        done = self.sim.event(name=f"{self.name}.send")
+        path = self.topology.path(src, dst)
+        self.sim.process(
+            self._route_proc(path, wire_bytes, done), name=f"{self.name}.route"
+        )
+        return done
+
+    def _hop_failed(self) -> bool:
+        """Deterministic per-hop CRC-failure decision (reproducible)."""
+        if not self.error_rate:
+            return False
+        self._error_counter += 1
+        return ((self._error_counter * 0x9E3779B1) >> 8) % 10_000 < int(
+            self.error_rate * 10_000
+        )
+
+    def _route_proc(self, path, wire_bytes: int, done: SimEvent):
+        for a, b in zip(path, path[1:]):
+            yield self.link(a, b).transfer(wire_bytes)
+            if self._hop_failed():
+                # DLL retry: ACK timeout, then the packet re-occupies the link
+                self.stats.add("dl.retransmissions")
+                yield self.retry_penalty_ps
+                yield self.link(a, b).transfer(wire_bytes)
+            yield self.hop_latency_ps
+            self.stats.add("dl.hop_bytes", wire_bytes)
+            self.stats.add("dl.hops")
+        self.stats.add("dl.packets")
+        done.succeed(wire_bytes)
+
+    def stream(self, src: int, dst: int, wire_bytes: int) -> SimEvent:
+        """Pipelined bulk transfer ``src -> dst``.
+
+        Models wormhole-style pipelining of a long packet train: every link
+        on the path is occupied for the full train duration concurrently,
+        and delivery completes when the slowest link finishes plus the
+        residual per-hop latencies.  Used for transfers large enough that
+        per-packet store-and-forward simulation would be wasteful.
+        """
+        if src == dst:
+            event = self.sim.event(name=f"{self.name}.stream.self")
+            self.sim.schedule(0, lambda _arg: event.succeed(wire_bytes), None)
+            return event
+        done = self.sim.event(name=f"{self.name}.stream")
+        path = self.topology.path(src, dst)
+        transfers = [
+            self.link(a, b).transfer(wire_bytes) for a, b in zip(path, path[1:])
+        ]
+        hops = len(transfers)
+        self.stats.add("dl.hop_bytes", wire_bytes * hops)
+        self.stats.add("dl.hops", hops)
+        self.stats.add("dl.packets")
+
+        def waiter():
+            yield AllOf(transfers)
+            yield self.hop_latency_ps * hops
+            done.succeed(wire_bytes)
+
+        self.sim.process(waiter(), name=f"{self.name}.stream.wait")
+        return done
+
+    def broadcast(self, root: int, wire_bytes: int) -> SimEvent:
+        """Flood ``wire_bytes`` from ``root`` to every node; fires when all
+        nodes have received the packet.
+
+        The flood pipelines wormhole-style: a node forwards flits as they
+        arrive, so a child finishes receiving one hop latency after its
+        parent (or when its inbound link finishes serialising, whichever
+        is later) — a chain flood costs one serialisation plus per-hop
+        latencies, not hops x payload.
+        """
+        done = self.sim.event(name=f"{self.name}.broadcast")
+        tree = self.topology.broadcast_tree(root)
+        if not tree:
+            self.sim.schedule(0, lambda _arg: done.succeed(0), None)
+            return done
+        arrival: Dict[int, SimEvent] = {root: self.sim.event()}
+        arrival[root].succeed(None)
+
+        def forward(parent: int, child: int):
+            # the link reserves its occupancy as soon as the parent begins
+            # receiving (flits stream through); completion needs both the
+            # serialisation to finish and the parent's data to be there
+            transfer = self.link(parent, child).transfer(wire_bytes)
+            yield AllOf([arrival[parent], transfer])
+            yield self.hop_latency_ps
+            self.stats.add("dl.hop_bytes", wire_bytes)
+            self.stats.add("dl.hops")
+            arrival[child].succeed(None)
+
+        children = []
+        for parent, child in tree:
+            arrival.setdefault(child, self.sim.event())
+            children.append(
+                self.sim.process(forward(parent, child), name=f"{self.name}.bc")
+            )
+
+        def finish():
+            yield AllOf(children)
+            self.stats.add("dl.broadcasts")
+            done.succeed(wire_bytes)
+
+        self.sim.process(finish(), name=f"{self.name}.bc.finish")
+        return done
+
+    def total_busy_ps(self) -> int:
+        """Sum of busy time across every directed link."""
+        return sum(link.busy_ps for link in self._links.values())
+
+    def peak_occupancy(self) -> float:
+        """Highest per-link occupancy (congestion indicator)."""
+        return max((link.occupancy() for link in self._links.values()), default=0.0)
+
+    def iter_link_stats(self) -> Iterable[Tuple[Tuple[int, int], BandwidthResource]]:
+        """(directed edge, resource) pairs for reporting."""
+        return self._links.items()

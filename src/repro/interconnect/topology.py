@@ -1,0 +1,168 @@
+"""DL-group topologies and routing tables (Sec. VI, Fig. 17).
+
+The paper's shipping design connects the DIMMs of a group as a linear
+chain ("half-ring"); Sec. VI explores Ring, Mesh, and Torus alternatives.
+A :class:`Topology` is an undirected graph over group-local positions
+``0..n-1`` with deterministic shortest-path routing (BFS, lowest-index
+tie-break) and BFS broadcast trees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError, RoutingError
+
+TOPOLOGY_NAMES = ("half_ring", "ring", "mesh", "torus")
+
+
+def _mesh_dims(n: int) -> Tuple[int, int]:
+    """Factor ``n`` into the most-square (rows, cols) grid."""
+    best = (1, n)
+    for rows in range(1, int(n ** 0.5) + 1):
+        if n % rows == 0:
+            best = (rows, n // rows)
+    return best
+
+
+def build_edges(name: str, n: int) -> List[Tuple[int, int]]:
+    """Undirected edge list for a named topology over ``n`` nodes."""
+    if n <= 0:
+        raise ConfigError(f"topology needs at least one node, got {n}")
+    if name == "half_ring":
+        return [(i, i + 1) for i in range(n - 1)]
+    if name == "ring":
+        if n < 3:
+            return [(i, i + 1) for i in range(n - 1)]
+        return [(i, (i + 1) % n) for i in range(n)]
+    if name in ("mesh", "torus"):
+        rows, cols = _mesh_dims(n)
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                if c + 1 < cols:
+                    edges.append((node, node + 1))
+                elif name == "torus" and cols > 2:
+                    edges.append((node, r * cols))
+                if r + 1 < rows:
+                    edges.append((node, node + cols))
+                elif name == "torus" and rows > 2:
+                    edges.append((node, c))
+        return sorted(set(tuple(sorted(e)) for e in edges if e[0] != e[1]))
+    raise ConfigError(f"unknown topology {name!r} (choose from {TOPOLOGY_NAMES})")
+
+
+class Topology:
+    """A routed topology over ``n`` group-local node positions."""
+
+    def __init__(self, name: str, n: int) -> None:
+        self.name = name
+        self.n = n
+        self.edges = build_edges(name, n)
+        self._adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for a, b in self.edges:
+            self._adjacency[a].append(b)
+            self._adjacency[b].append(a)
+        for neighbors in self._adjacency.values():
+            neighbors.sort()
+        # routing table: _next_hop[src][dst] -> neighbor on a shortest path
+        self._next_hop: List[List[int]] = [
+            self._bfs_next_hops(src) for src in range(n)
+        ]
+
+    def _bfs_next_hops(self, src: int) -> List[int]:
+        parent = [-1] * self.n
+        dist = [-1] * self.n
+        dist[src] = 0
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._adjacency[node]:
+                if dist[neighbor] == -1:
+                    dist[neighbor] = dist[node] + 1
+                    parent[neighbor] = node
+                    queue.append(neighbor)
+        next_hops = [-1] * self.n
+        for dst in range(self.n):
+            if dst == src or dist[dst] == -1:
+                continue
+            node = dst
+            while parent[node] != src:
+                node = parent[node]
+            next_hops[dst] = node
+        return next_hops
+
+    def neighbors(self, node: int) -> Sequence[int]:
+        """Adjacent nodes of ``node``."""
+        self._check(node)
+        return tuple(self._adjacency[node])
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """First hop on a shortest path from ``src`` to ``dst``."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise RoutingError(f"next_hop of {src} to itself")
+        hop = self._next_hop[src][dst]
+        if hop == -1:
+            raise RoutingError(f"no path from {src} to {dst} in {self.name}")
+        return hop
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Full shortest path ``[src, ..., dst]``."""
+        self._check(src)
+        self._check(dst)
+        path = [src]
+        node = src
+        guard = 0
+        while node != dst:
+            node = self.next_hop(node, dst)
+            path.append(node)
+            guard += 1
+            if guard > self.n:
+                raise RoutingError(f"routing loop {src}->{dst} in {self.name}")
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest-path hop count."""
+        return len(self.path(src, dst)) - 1
+
+    def diameter(self) -> int:
+        """Maximum shortest-path distance between any node pair."""
+        return max(
+            (self.hops(a, b) for a in range(self.n) for b in range(self.n) if a != b),
+            default=0,
+        )
+
+    def average_distance(self) -> float:
+        """Mean shortest-path distance over distinct pairs."""
+        pairs = [(a, b) for a in range(self.n) for b in range(self.n) if a != b]
+        if not pairs:
+            return 0.0
+        return sum(self.hops(a, b) for a, b in pairs) / len(pairs)
+
+    def broadcast_tree(self, root: int) -> List[Tuple[int, int]]:
+        """BFS tree edges ``(parent, child)`` in propagation order."""
+        self._check(root)
+        seen = {root}
+        order: List[Tuple[int, int]] = []
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    order.append((node, neighbor))
+                    queue.append(neighbor)
+        if len(seen) != self.n:
+            raise RoutingError(f"{self.name}: broadcast from {root} cannot reach all")
+        return order
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise RoutingError(f"node {node} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, n={self.n}, edges={len(self.edges)})"

@@ -1,0 +1,22 @@
+"""Distance-aware task mapping (profiling, cost model, MCMF placement)."""
+
+from repro.mapping.mcmf import MinCostMaxFlow
+from repro.mapping.placement import (
+    cost_table,
+    distance_aware_placement,
+    distance_matrix,
+    placement_cost,
+    solve_placement,
+)
+from repro.mapping.profile import DEFAULT_PROFILE_FRACTION, profile_traffic
+
+__all__ = [
+    "MinCostMaxFlow",
+    "cost_table",
+    "distance_aware_placement",
+    "distance_matrix",
+    "placement_cost",
+    "solve_placement",
+    "DEFAULT_PROFILE_FRACTION",
+    "profile_traffic",
+]

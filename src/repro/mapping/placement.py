@@ -1,0 +1,95 @@
+"""Distance-aware thread placement (Algorithm 1, Sec. IV-B).
+
+Step 1 weights each thread's profiled traffic by the DIMM-to-DIMM distance
+function to build the cost table ``C[T][N]``; Step 2 solves a min-cost
+max-flow over Source -> threads -> DIMMs -> Sink; Step 3 reads the chosen
+edges off the flow.  The distance function comes from the DL topology
+(DL hops within a group, a large constant for host-forwarded pairs), as
+the paper derives it from profiled inter-DIMM latencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.routing import distance
+from repro.errors import MappingError
+from repro.mapping.mcmf import MinCostMaxFlow
+
+
+def distance_matrix(config: SystemConfig) -> np.ndarray:
+    """N x N matrix of the Algorithm 1 distance function ``dist(j, k)``."""
+    n = config.num_dimms
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for j in range(n):
+        for k in range(n):
+            if j != k:
+                matrix[j, k] = distance(config, j, k)
+    return matrix
+
+
+def cost_table(traffic: np.ndarray, distances: np.ndarray) -> np.ndarray:
+    """Step 1: ``C[i][j] = sum_k dist(j, k) * M[i][k]``."""
+    if traffic.ndim != 2 or distances.ndim != 2:
+        raise MappingError("traffic and distance tables must be 2-D")
+    if traffic.shape[1] != distances.shape[0] or distances.shape[0] != distances.shape[1]:
+        raise MappingError(
+            f"shape mismatch: M is {traffic.shape}, dist is {distances.shape}"
+        )
+    return traffic @ distances.T
+
+
+def solve_placement(costs: np.ndarray, threads_per_dimm: int) -> List[int]:
+    """Steps 2-3: min-cost max-flow assignment of threads to DIMMs."""
+    num_threads, num_dimms = costs.shape
+    if threads_per_dimm <= 0:
+        raise MappingError("threads_per_dimm must be positive")
+    if num_threads > num_dimms * threads_per_dimm:
+        raise MappingError(
+            f"{num_threads} threads exceed capacity "
+            f"{num_dimms} x {threads_per_dimm}"
+        )
+    source = 0
+    thread_node = lambda t: 1 + t  # noqa: E731 - tiny index helpers
+    dimm_node = lambda d: 1 + num_threads + d  # noqa: E731
+    sink = 1 + num_threads + num_dimms
+    network = MinCostMaxFlow(sink + 1)
+    for t in range(num_threads):
+        network.add_edge(source, thread_node(t), capacity=1, cost=0.0)
+    assignment_edges = {}
+    for t in range(num_threads):
+        for d in range(num_dimms):
+            assignment_edges[(t, d)] = network.add_edge(
+                thread_node(t), dimm_node(d), capacity=1, cost=float(costs[t, d])
+            )
+    for d in range(num_dimms):
+        network.add_edge(dimm_node(d), sink, capacity=threads_per_dimm, cost=0.0)
+    flow, _cost = network.solve(source, sink)
+    if flow != num_threads:
+        raise MappingError(f"placement infeasible: flowed {flow}/{num_threads}")
+    placement = [-1] * num_threads
+    for (t, d), edge_id in assignment_edges.items():
+        if network.flow_on(edge_id) > 0:
+            placement[t] = d
+    if any(p < 0 for p in placement):
+        raise MappingError("flow solution left a thread unplaced")
+    return placement
+
+
+def placement_cost(placement: List[int], costs: np.ndarray) -> float:
+    """Total Algorithm-1 cost of a given placement (for comparisons)."""
+    return float(sum(costs[t, d] for t, d in enumerate(placement)))
+
+
+def distance_aware_placement(
+    traffic: np.ndarray,
+    config: SystemConfig,
+    threads_per_dimm: Optional[int] = None,
+) -> List[int]:
+    """Algorithm 1 end-to-end: traffic table -> optimized placement."""
+    per_dimm = threads_per_dimm or config.nmp.cores_per_dimm
+    costs = cost_table(traffic, distance_matrix(config))
+    return solve_placement(costs, per_dimm)

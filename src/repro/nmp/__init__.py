@@ -1,0 +1,17 @@
+"""NMP-side models: DIMMs, cores, local MCs, system assembly, results."""
+
+from repro.nmp.core import NMPCore
+from repro.nmp.dimm import DIMM
+from repro.nmp.executor import ThreadExecutor
+from repro.nmp.localmc import LocalMemoryController
+from repro.nmp.results import RunResult
+from repro.nmp.system import NMPSystem
+
+__all__ = [
+    "NMPCore",
+    "DIMM",
+    "ThreadExecutor",
+    "LocalMemoryController",
+    "RunResult",
+    "NMPSystem",
+]

@@ -1,0 +1,92 @@
+"""NMP core model (the general-purpose cores in each DIMM's buffer chip).
+
+An :class:`NMPCore` executes a thread placed on its DIMM: local accesses
+go through the DIMM's local memory controller (with a small deterministic
+cache-hit fraction for thread-private/read-only data, Sec. III-E); remote
+accesses and broadcasts go through the system's IDC mechanism; barriers go
+through the synchronization manager.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.config import NMPConfig
+from repro.nmp.executor import ThreadExecutor
+from repro.sim.engine import SimEvent, Simulator
+from repro.sim.stats import StatRegistry
+from repro.sim.time import ns
+from repro.workloads.ops import Broadcast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sync import SyncManager
+    from repro.idc.base import IDCMechanism
+    from repro.nmp.localmc import LocalMemoryController
+
+
+def _deterministic_hit(counter: int, hit_rate: float) -> bool:
+    """Reproducible pseudo-random cache-hit decision (Weyl-style hash)."""
+    return ((counter * 0x9E3779B1) >> 8) % 1000 < int(hit_rate * 1000)
+
+
+class NMPCore(ThreadExecutor):
+    """One of the ``cores_per_dimm`` NMP cores on a DIMM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dimm_id: int,
+        core_index: int,
+        config: NMPConfig,
+        mc: "LocalMemoryController",
+        stats: StatRegistry,
+    ) -> None:
+        super().__init__(
+            sim,
+            freq_ghz=config.freq_ghz,
+            window=config.outstanding_window,
+            stats=stats,
+            name=f"dimm{dimm_id}.core{core_index}",
+        )
+        self.dimm_id = dimm_id
+        self.core_index = core_index
+        self.config = config
+        self.mc = mc
+        self.idc: "IDCMechanism | None" = None
+        self.sync: "SyncManager | None" = None
+        self._access_counter = 0
+
+    def bind(self, idc: "IDCMechanism", sync: "SyncManager") -> None:
+        """Connect the core to the run's IDC mechanism and barrier service."""
+        self.idc = idc
+        self.sync = sync
+
+    # -- ThreadExecutor hooks ---------------------------------------------------
+
+    def memory_access(self, op) -> Tuple[Optional[SimEvent], bool]:
+        from repro.workloads.ops import Write
+
+        is_write = isinstance(op, Write)
+        is_remote = op.dimm != self.dimm_id
+        if not is_remote and not is_write:
+            self._access_counter += 1
+            if _deterministic_hit(self._access_counter, self.config.local_hit_rate):
+                self.stats.add("core.cache_hits")
+                hit = self.sim.event(name=f"{self.name}.hit")
+                self.sim.schedule(
+                    ns(self.config.cache_latency_ns),
+                    lambda _arg: hit.succeed(op.nbytes),
+                    None,
+                )
+                return hit, False
+        return self.mc.submit(op.dimm, op.offset, op.nbytes, is_write), is_remote
+
+    def broadcast(self, op: Broadcast) -> SimEvent:
+        if self.idc is None:
+            raise RuntimeError(f"{self.name}: core not bound to an IDC mechanism")
+        return self.idc.broadcast(self.dimm_id, op.offset, op.nbytes)
+
+    def barrier(self, thread_id: int) -> SimEvent:
+        if self.sync is None:
+            raise RuntimeError(f"{self.name}: core not bound to a sync manager")
+        return self.sync.barrier(thread_id)

@@ -1,0 +1,57 @@
+"""One NMP DIMM: DRAM ranks + buffer chip (local MC, NMP cores, DL port).
+
+This is the centralized-buffer-chip organization the paper targets
+(Sec. II-A): the buffer chip hosts the local memory controller, the NMP
+cores, and — on DIMM-Link systems — the DL-Controller.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.dram.module import DRAMModule
+from repro.dram.timing import preset
+from repro.nmp.core import NMPCore
+from repro.nmp.localmc import LocalMemoryController
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+
+
+class DIMM:
+    """A near-memory-processing DIMM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dimm_id: int,
+        config: SystemConfig,
+        stats: StatRegistry,
+    ) -> None:
+        self.sim = sim
+        self.dimm_id = dimm_id
+        self.config = config
+        self.stats = stats.scope(f"dimm{dimm_id}")
+        self.dram = DRAMModule(
+            sim,
+            preset(config.dram_preset),
+            ranks=config.ranks_per_dimm,
+            stats=self.stats,
+            name=f"dimm{dimm_id}.dram",
+        )
+        self.mc = LocalMemoryController(sim, dimm_id, self.dram, self.stats)
+        self.cores = [
+            NMPCore(sim, dimm_id, index, config.nmp, self.mc, self.stats)
+            for index in range(config.nmp.cores_per_dimm)
+        ]
+
+    @property
+    def channel_id(self) -> int:
+        """The host memory channel this DIMM sits on."""
+        return self.config.channel_of(self.dimm_id)
+
+    @property
+    def group_id(self) -> int:
+        """The DL group this DIMM belongs to."""
+        return self.config.group_of(self.dimm_id)
+
+    def __repr__(self) -> str:
+        return f"DIMM({self.dimm_id}, ch={self.channel_id}, grp={self.group_id})"

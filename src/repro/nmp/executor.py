@@ -1,0 +1,151 @@
+"""Generic thread executor: turns an op stream into simulated time.
+
+Both NMP cores and baseline host cores execute the same workload op
+streams (:mod:`repro.workloads.ops`).  This base class implements the
+shared machinery — the bounded outstanding-request window, request
+draining, and stall-time attribution (local vs. remote/IDC, which is where
+Fig. 10's "non-overlapped IDC cycles" metric comes from) — while
+subclasses define how each op class actually costs time on their system.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.sim.engine import AllOf, Process, SimEvent, Simulator
+from repro.sim.resource import SlotResource
+from repro.sim.stats import StatRegistry
+from repro.sim.time import cycles
+from repro.workloads.ops import Barrier, Broadcast, Compute, Flush, Read, Write
+
+
+class ThreadExecutor(abc.ABC):
+    """Executes one software thread's op stream on one core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        freq_ghz: float,
+        window: int,
+        stats: StatRegistry,
+        name: str = "core",
+        compute_scale: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.freq_ghz = freq_ghz
+        self.stats = stats
+        self.name = name
+        #: >1.0 slows compute (host cores time-multiplexing many threads).
+        self.compute_scale = compute_scale
+        self._window = SlotResource(sim, window, name=f"{name}.window")
+        self._pending: Dict[int, Tuple[SimEvent, bool]] = {}
+        self._next_id = 0
+        self._outstanding_remote = 0
+
+    # -- hooks ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def memory_access(self, op) -> Tuple[Optional[SimEvent], bool]:
+        """Issue a Read/Write.  Returns (completion event | None, is_remote).
+
+        Returning ``None`` means the access was satisfied immediately
+        (e.g. a cache hit whose latency the hook already charged).
+        """
+
+    @abc.abstractmethod
+    def broadcast(self, op: Broadcast) -> SimEvent:
+        """Issue a broadcast; event fires when all receivers have the data."""
+
+    @abc.abstractmethod
+    def barrier(self, thread_id: int) -> SimEvent:
+        """Enter the global barrier; event fires on release."""
+
+    # -- execution --------------------------------------------------------------
+
+    def run_thread(self, thread_id: int, ops: Iterable) -> Process:
+        """Start executing ``ops`` as a simulation process."""
+        return self.sim.process(
+            self._thread_proc(thread_id, ops), name=f"{self.name}.t{thread_id}"
+        )
+
+    def _thread_proc(self, thread_id: int, ops: Iterable):
+        start = self.sim.now
+        for op in ops:
+            if isinstance(op, Compute):
+                duration = cycles(op.cycles * self.compute_scale, self.freq_ghz)
+                self.stats.add("core.busy_ps", duration)
+                yield duration
+            elif isinstance(op, (Read, Write)):
+                yield from self._issue_memory(op)
+            elif isinstance(op, Broadcast):
+                yield from self._drain()
+                blocked_from = self.sim.now
+                yield self.broadcast(op)
+                self.stats.add("core.stall_remote_ps", self.sim.now - blocked_from)
+                self.stats.add("core.broadcasts")
+            elif isinstance(op, Barrier):
+                yield from self._drain()
+                blocked_from = self.sim.now
+                yield self.barrier(thread_id)
+                self.stats.add("core.stall_sync_ps", self.sim.now - blocked_from)
+                self.stats.add("core.barriers")
+            elif isinstance(op, Flush):
+                yield from self._drain()
+            else:
+                raise WorkloadError(f"unknown op {op!r}")
+        yield from self._drain()
+        self.stats.add("core.thread_ps", self.sim.now - start)
+        self.stats.add("core.threads")
+        return self.sim.now
+
+    def _issue_memory(self, op):
+        blocked_from = self.sim.now
+        yield self._window.acquire()
+        self._attribute_stall(self.sim.now - blocked_from)
+        event, is_remote = self.memory_access(op)
+        self.stats.add("core.mem_ops")
+        if is_remote:
+            self.stats.add("core.remote_ops")
+            self.stats.add("core.remote_bytes", op.nbytes)
+        if event is None:
+            self._window.release()
+            return
+        request_id = self._next_id
+        self._next_id += 1
+        self._pending[request_id] = (event, is_remote)
+        if is_remote:
+            self._outstanding_remote += 1
+        event.add_callback(lambda _ev, rid=request_id: self._on_complete(rid))
+
+    def _on_complete(self, request_id: int) -> None:
+        _event, is_remote = self._pending.pop(request_id)
+        if is_remote:
+            self._outstanding_remote -= 1
+        self._window.release()
+
+    def _drain(self):
+        while self._pending:
+            blocked_from = self.sim.now
+            events = [event for event, _remote in self._pending.values()]
+            remote_fraction = self._remote_fraction()
+            yield AllOf(events)
+            self._split_stall(self.sim.now - blocked_from, remote_fraction)
+
+    def _remote_fraction(self) -> float:
+        if not self._pending:
+            return 0.0
+        return self._outstanding_remote / len(self._pending)
+
+    def _attribute_stall(self, blocked_ps: int) -> None:
+        if blocked_ps <= 0:
+            return
+        self._split_stall(blocked_ps, self._remote_fraction())
+
+    def _split_stall(self, blocked_ps: int, remote_fraction: float) -> None:
+        if blocked_ps <= 0:
+            return
+        remote_part = int(blocked_ps * remote_fraction)
+        self.stats.add("core.stall_remote_ps", remote_part)
+        self.stats.add("core.stall_local_ps", blocked_ps - remote_part)

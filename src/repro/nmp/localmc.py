@@ -1,0 +1,85 @@
+"""Local memory controller of an NMP DIMM (Fig. 6 ❶-❹).
+
+NMP cores submit memory requests here.  The controller buffers them in a
+bounded transaction buffer, decodes the target DIMM, and arbitrates: local
+requests go to the DIMM's DRAM through the local DDR interface; remote
+requests are handed to the system's IDC mechanism via the DL interface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import SimEvent, Simulator
+from repro.sim.resource import SlotResource
+from repro.sim.stats import StatRegistry
+from repro.sim.time import ns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dram.module import DRAMModule
+    from repro.idc.base import IDCMechanism
+
+#: arbitration + address-decode latency per request.
+ARBITER_LATENCY_PS = ns(3.0)
+#: transaction-buffer entries per DIMM (Fig. 6 ❶).
+TRANSACTION_BUFFER_ENTRIES = 64
+
+
+class LocalMemoryController:
+    """Per-DIMM request arbiter between local DRAM and the IDC path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dimm_id: int,
+        dram: "DRAMModule",
+        stats: StatRegistry,
+    ) -> None:
+        self.sim = sim
+        self.dimm_id = dimm_id
+        self.dram = dram
+        self.stats = stats
+        self.idc: "IDCMechanism | None" = None
+        self.buffer = SlotResource(
+            sim, TRANSACTION_BUFFER_ENTRIES, name=f"dimm{dimm_id}.txnbuf"
+        )
+
+    def bind_idc(self, idc: "IDCMechanism") -> None:
+        """Connect the DL interface to the system's IDC mechanism."""
+        self.idc = idc
+
+    def submit(
+        self, target_dimm: int, offset: int, nbytes: int, is_write: bool
+    ) -> SimEvent:
+        """Submit one request; the event fires on completion."""
+        done = self.sim.event(name=f"dimm{self.dimm_id}.mc")
+        self.sim.process(
+            self._serve(target_dimm, offset, nbytes, is_write, done),
+            name=f"dimm{self.dimm_id}.mc",
+        )
+        return done
+
+    def _serve(
+        self, target_dimm: int, offset: int, nbytes: int, is_write: bool, done: SimEvent
+    ):
+        yield self.buffer.acquire()
+        yield ARBITER_LATENCY_PS
+        if target_dimm == self.dimm_id:
+            self.stats.add("idc.local_bytes", nbytes)
+            yield self.dram.access(offset, nbytes, is_write)
+        else:
+            if self.idc is None:
+                raise RuntimeError(
+                    f"dimm{self.dimm_id}: remote request without an IDC mechanism"
+                )
+            if is_write:
+                yield self.idc.remote_write(self.dimm_id, target_dimm, offset, nbytes)
+            else:
+                yield self.idc.remote_read(self.dimm_id, target_dimm, offset, nbytes)
+        self.buffer.release()
+        done.succeed(nbytes)
+
+    def local_access(self, offset: int, nbytes: int, is_write: bool) -> SimEvent:
+        """Direct local DRAM access (used by the IDC receive path)."""
+        self.stats.add("idc.remote_served_bytes", nbytes)
+        return self.dram.access(offset, nbytes, is_write)

@@ -1,0 +1,115 @@
+"""Coarse-grained execution flow: Host-Access / NMP-Access modes.
+
+Sec. II-A / III-E: before and after kernel execution the DIMMs are in HA
+mode (the host owns the DRAMs and stages inputs/results over the memory
+channels); during execution they are in NA mode (the local MCs own the
+DRAMs; the host only polls and forwards).  Mode switches hand the DRAM
+over (precharge-all + a control handshake) and NMP caches are flushed before
+returning to HA so the host reads up-to-date results (software-assisted
+coherence).
+
+:class:`ExecutionFlow` wraps an :class:`~repro.nmp.system.NMPSystem` with
+this protocol and accounts the offload overheads separately, so kernels
+can be reported with or without staging costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.nmp.results import RunResult
+from repro.nmp.system import NMPSystem, ThreadFactory
+from repro.sim.engine import AllOf
+from repro.sim.time import ns, us
+
+#: host <-> local MC control handshake per mode switch.
+MODE_SWITCH_PS = ns(500.0)
+#: per-DIMM NMP cache flush before returning to HA mode (128 KB L2).
+CACHE_FLUSH_PS = us(2.0)
+
+
+class Mode(enum.Enum):
+    """Who owns the DRAMs."""
+
+    HOST_ACCESS = "HA"
+    NMP_ACCESS = "NA"
+
+
+class ExecutionFlow:
+    """Drives one offload: HA -> stage in -> NA kernel -> flush -> HA."""
+
+    def __init__(self, system: NMPSystem) -> None:
+        self.system = system
+        self.mode = Mode.HOST_ACCESS
+        #: simulated time spent staging data and switching modes.
+        self.offload_ps = 0
+
+    def _stage(self, nbytes_per_dimm: int, is_write: bool) -> int:
+        """Host moves data to/from every DIMM over its channel; returns
+        the elapsed simulated time."""
+        sim = self.system.sim
+        start = sim.now
+        transfers = []
+        for dimm in self.system.dimms:
+            channel = self.system.channels[dimm.channel_id]
+            transfers.append(channel.transfer(nbytes_per_dimm, kind="data"))
+            transfers.append(
+                dimm.dram.access(0, max(64, nbytes_per_dimm), is_write)
+            )
+
+        def wait():
+            yield AllOf(transfers)
+
+        sim.run_process(wait(), name="offload.stage")
+        return sim.now - start
+
+    def enter_na(self, input_bytes_per_dimm: int = 0) -> None:
+        """Stage inputs and hand the DRAMs to the local MCs."""
+        if self.mode is Mode.NMP_ACCESS:
+            raise SimulationError("already in NA mode")
+        if input_bytes_per_dimm:
+            self.offload_ps += self._stage(input_bytes_per_dimm, is_write=True)
+        for dimm in self.system.dimms:
+            dimm.dram.precharge_all()
+        self._advance(MODE_SWITCH_PS)
+        self.mode = Mode.NMP_ACCESS
+
+    def exit_na(self, result_bytes_per_dimm: int = 0) -> None:
+        """Flush NMP caches, hand DRAMs back, and read out results."""
+        if self.mode is Mode.HOST_ACCESS:
+            raise SimulationError("not in NA mode")
+        self._advance(CACHE_FLUSH_PS + MODE_SWITCH_PS)
+        for dimm in self.system.dimms:
+            dimm.dram.precharge_all()
+        self.mode = Mode.HOST_ACCESS
+        if result_bytes_per_dimm:
+            self.offload_ps += self._stage(result_bytes_per_dimm, is_write=False)
+
+    def _advance(self, duration_ps: int) -> None:
+        sim = self.system.sim
+        target = sim.now + duration_ps
+        sim.schedule(duration_ps, lambda _arg: None, None)
+        sim.run(until=target)
+        self.offload_ps += duration_ps
+
+    def run_kernel(
+        self,
+        thread_factories: List[ThreadFactory],
+        placement: Optional[List[int]] = None,
+        input_bytes_per_dimm: int = 0,
+        result_bytes_per_dimm: int = 0,
+        workload_name: str = "kernel",
+    ) -> RunResult:
+        """Full offload: stage in, execute in NA mode, stage out.
+
+        The returned result's ``profile_ps`` field is unused here; the
+        staging overhead is exposed as :attr:`offload_ps`.
+        """
+        self.enter_na(input_bytes_per_dimm)
+        result = self.system.run(
+            thread_factories, placement=placement, workload_name=workload_name
+        )
+        self.exit_na(result_bytes_per_dimm)
+        return result

@@ -1,0 +1,103 @@
+"""Run results: the measurements an experiment reads off a finished run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.stats import StatRegistry
+from repro.sim.time import to_ms, to_us
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one kernel on one system."""
+
+    system_name: str
+    mechanism: str
+    workload: str
+    #: kernel makespan (last thread completion), picoseconds.
+    time_ps: int
+    #: per-thread completion times, picoseconds.
+    thread_end_ps: List[int]
+    stats: StatRegistry
+    #: per-channel bus occupancy at kernel end (incl. polling background).
+    bus_occupancy: List[float] = field(default_factory=list)
+    #: extra time spent in the profiling phase (distance-aware mapping).
+    profile_ps: int = 0
+    #: polling strategy the run used ("none" for CPU baselines).
+    polling: str = "none"
+
+    # -- derived metrics -----------------------------------------------------------
+
+    @property
+    def total_ps(self) -> int:
+        """Kernel plus profiling time (what Fig. 10 charges DL-opt)."""
+        return self.time_ps + self.profile_ps
+
+    @property
+    def time_us(self) -> float:
+        """Makespan in microseconds."""
+        return to_us(self.time_ps)
+
+    @property
+    def time_ms(self) -> float:
+        """Makespan in milliseconds."""
+        return to_ms(self.time_ps)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline time / this time (includes profiling overhead)."""
+        return baseline.total_ps / self.total_ps
+
+    @property
+    def stall_remote_ps(self) -> float:
+        """Total core cycles stalled on IDC (non-overlapped IDC time)."""
+        return self.stats.sum_suffix("core.stall_remote_ps")
+
+    @property
+    def nonoverlapped_idc_ratio(self) -> float:
+        """Fraction of aggregate thread time stalled on IDC (Fig. 10 line)."""
+        total_thread = self.stats.sum_suffix("core.thread_ps")
+        if total_thread <= 0:
+            return 0.0
+        return (
+            self.stats.sum_suffix("core.stall_remote_ps")
+            + self.stats.sum_suffix("core.stall_sync_ps")
+        ) / total_thread
+
+    @property
+    def traffic_breakdown(self) -> Dict[str, float]:
+        """Bytes by path: local / DL intra-group / host-forwarded (Fig. 11)."""
+        return {
+            "local": self.stats.sum_suffix("idc.local_bytes"),
+            "intra_group": self.stats.sum_suffix("idc.intra_group_bytes")
+            + self.stats.sum_suffix("idc.dedicated_bus_bytes")
+            + self.stats.sum_suffix("idc.channel_bc_bytes"),
+            "forwarded": self.stats.sum_suffix("idc.forwarded_bytes"),
+        }
+
+    @property
+    def forwarded_fraction(self) -> float:
+        """Share of non-local traffic that crossed the host CPU."""
+        breakdown = self.traffic_breakdown
+        remote = breakdown["intra_group"] + breakdown["forwarded"]
+        if remote <= 0:
+            return 0.0
+        return breakdown["forwarded"] / remote
+
+    @property
+    def mean_bus_occupancy(self) -> float:
+        """Average memory-bus occupancy over channels (Fig. 15-(b))."""
+        if not self.bus_occupancy:
+            return 0.0
+        return sum(self.bus_occupancy) / len(self.bus_occupancy)
+
+    def counter(self, suffix: str) -> float:
+        """Aggregate counter across scopes (convenience passthrough)."""
+        return self.stats.sum_suffix(suffix)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.workload} on {self.mechanism}/{self.system_name}: "
+            f"{self.time_us:.1f}us)"
+        )

@@ -1,0 +1,222 @@
+"""DL packet format and codec (transaction layer, Fig. 3-(b)).
+
+Field allocation within the 64-bit header::
+
+    | SRC:5 | DST:5 | CMD:4 | ADDR:37 | TAG:8 | LEN:5 |  = 64 bits
+
+The 42-bit physical address is carried as 37 bits because the destination
+DIMM id occupies the top 5 bits of the address space (Sec. III-B).  A
+packet is sliced into 128-bit flits: the first flit carries the header,
+each subsequent flit carries 8 bytes of payload alongside per-flit framing,
+and the 64-bit tail (CRC-32 + DLL control) rides in the final flit.  LEN is
+the number of payload flits; LEN=0 means a single-flit packet (e.g. a read
+request).  A packet carries at most :data:`MAX_PAYLOAD` = 256 bytes, so
+larger transfers are segmented by :func:`segment_payload`.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocol.crc import crc32
+
+#: Bytes per 128-bit flit on the wire.
+FLIT_BYTES = 16
+#: Payload bytes carried per payload flit.
+PAYLOAD_PER_FLIT = 8
+#: Maximum payload flits (5-bit LEN).
+MAX_PAYLOAD_FLITS = 32
+#: Maximum payload bytes per packet (Sec. III-B: 256 B).
+MAX_PAYLOAD = MAX_PAYLOAD_FLITS * PAYLOAD_PER_FLIT
+
+_SRC_BITS = 5
+_DST_BITS = 5
+_CMD_BITS = 4
+_ADDR_BITS = 37
+_TAG_BITS = 8
+_LEN_BITS = 5
+
+#: DST value meaning "any DIMM may accept" (broadcast packets ignore DST).
+BROADCAST_DST = (1 << _DST_BITS) - 1
+
+
+class Command(enum.IntEnum):
+    """Transaction-layer commands (4-bit CMD field)."""
+
+    READ_REQ = 0
+    READ_RESP = 1
+    WRITE_REQ = 2
+    WRITE_ACK = 3
+    BROADCAST = 4
+    SYNC_MSG = 5
+    FWD_REQ = 6
+    LOCK_REQ = 7
+    LOCK_GRANT = 8
+    NACK = 9
+
+
+@dataclass
+class Packet:
+    """A transaction-layer DL packet."""
+
+    src: int
+    dst: int
+    cmd: Command
+    addr: int = 0
+    tag: int = 0
+    payload: bytes = b""
+    #: data-link sequence number (set by the DLL).
+    seq: int = 0
+    #: credit return piggback (set by the DLL).
+    credits: int = 0
+    _payload_bytes: int = field(default=-1, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src < (1 << _SRC_BITS):
+            raise ProtocolError(f"SRC {self.src} out of range")
+        if not 0 <= self.dst < (1 << _DST_BITS):
+            raise ProtocolError(f"DST {self.dst} out of range")
+        if not 0 <= self.addr < (1 << _ADDR_BITS):
+            raise ProtocolError(f"ADDR {self.addr:#x} exceeds 37 bits")
+        if not 0 <= self.tag < (1 << _TAG_BITS):
+            raise ProtocolError(f"TAG {self.tag} out of range")
+        if self.payload_bytes > MAX_PAYLOAD:
+            raise ProtocolError(
+                f"payload {self.payload_bytes} B exceeds {MAX_PAYLOAD} B"
+            )
+
+    @property
+    def payload_bytes(self) -> int:
+        """Payload size; settable without materialising bytes (sim mode)."""
+        if self._payload_bytes >= 0:
+            return self._payload_bytes
+        return len(self.payload)
+
+    @property
+    def payload_flits(self) -> int:
+        """Number of payload flits (the LEN field)."""
+        nbytes = self.payload_bytes
+        return (nbytes + PAYLOAD_PER_FLIT - 1) // PAYLOAD_PER_FLIT
+
+    @property
+    def total_flits(self) -> int:
+        """Flits on the wire: header flit plus payload flits."""
+        return 1 + self.payload_flits
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes serialised on a link for this packet."""
+        return self.total_flits * FLIT_BYTES
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether any DIMM should accept this packet."""
+        return self.cmd == Command.BROADCAST or self.dst == BROADCAST_DST
+
+    @classmethod
+    def sized(
+        cls, src: int, dst: int, cmd: Command, nbytes: int, addr: int = 0, tag: int = 0
+    ) -> "Packet":
+        """A packet that *models* carrying ``nbytes`` without allocating them.
+
+        The event simulator moves millions of packets; this constructor
+        keeps them cheap while :attr:`payload_bytes` stays correct.
+        """
+        return cls(
+            src=src, dst=dst, cmd=cmd, addr=addr, tag=tag, _payload_bytes=nbytes
+        )
+
+    # -- wire codec ----------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise to bytes: 8B header | payload | 8B tail (CRC + DLL)."""
+        header = (
+            (self.src << (_DST_BITS + _CMD_BITS + _ADDR_BITS + _TAG_BITS + _LEN_BITS))
+            | (self.dst << (_CMD_BITS + _ADDR_BITS + _TAG_BITS + _LEN_BITS))
+            | (int(self.cmd) << (_ADDR_BITS + _TAG_BITS + _LEN_BITS))
+            | (self.addr << (_TAG_BITS + _LEN_BITS))
+            | (self.tag << _LEN_BITS)
+            | (self.payload_flits & ((1 << _LEN_BITS) - 1))
+        )
+        head = struct.pack(">Q", header)
+        body = head + self.payload
+        # the CRC covers the DLL control bits too, so a corrupted sequence
+        # number cannot masquerade as a different (valid) packet
+        dll = bytes([self.seq & 0xFF, self.credits & 0xFF])
+        crc = crc32(body + dll)
+        tail = struct.pack(">IBBH", crc, self.seq & 0xFF, self.credits & 0xFF, 0)
+        return body + tail
+
+    @classmethod
+    def decode(cls, wire: bytes) -> "Packet":
+        """Parse bytes back into a packet, validating CRC and LEN."""
+        if len(wire) < 16:
+            raise ProtocolError(f"packet too short: {len(wire)} bytes")
+        body, tail = wire[:-8], wire[-8:]
+        crc, seq, credits, _reserved = struct.unpack(">IBBH", tail)
+        if crc32(body + bytes([seq, credits])) != crc:
+            raise ProtocolError("CRC mismatch")
+        (header,) = struct.unpack(">Q", body[:8])
+        length = header & ((1 << _LEN_BITS) - 1)
+        tag = (header >> _LEN_BITS) & ((1 << _TAG_BITS) - 1)
+        addr = (header >> (_TAG_BITS + _LEN_BITS)) & ((1 << _ADDR_BITS) - 1)
+        cmd_val = (header >> (_ADDR_BITS + _TAG_BITS + _LEN_BITS)) & (
+            (1 << _CMD_BITS) - 1
+        )
+        dst = (header >> (_CMD_BITS + _ADDR_BITS + _TAG_BITS + _LEN_BITS)) & (
+            (1 << _DST_BITS) - 1
+        )
+        src = header >> (
+            _DST_BITS + _CMD_BITS + _ADDR_BITS + _TAG_BITS + _LEN_BITS
+        )
+        payload = body[8:]
+        packet = cls(
+            src=src,
+            dst=dst,
+            cmd=Command(cmd_val),
+            addr=addr,
+            tag=tag,
+            payload=payload,
+            seq=seq,
+            credits=credits,
+        )
+        expected = packet.payload_flits & ((1 << _LEN_BITS) - 1)
+        if length != expected:
+            raise ProtocolError(f"LEN field {length} != payload flits {expected}")
+        return packet
+
+
+def segment_payload(nbytes: int) -> List[int]:
+    """Split a transfer into per-packet payload sizes (<=256 B each)."""
+    if nbytes < 0:
+        raise ProtocolError(f"negative transfer size {nbytes}")
+    if nbytes == 0:
+        return [0]
+    sizes = [MAX_PAYLOAD] * (nbytes // MAX_PAYLOAD)
+    remainder = nbytes % MAX_PAYLOAD
+    if remainder:
+        sizes.append(remainder)
+    return sizes
+
+
+def wire_bytes_for_transfer(nbytes: int) -> int:
+    """Total wire bytes (including per-packet overhead) to move ``nbytes``."""
+    total = 0
+    for size in segment_payload(nbytes):
+        flits = 1 + (size + PAYLOAD_PER_FLIT - 1) // PAYLOAD_PER_FLIT
+        total += flits * FLIT_BYTES
+    return total
+
+
+def iter_packets(
+    src: int, dst: int, cmd: Command, nbytes: int, addr: int = 0, tag: int = 0
+) -> Iterator[Tuple[int, Packet]]:
+    """Yield (offset, packet) pairs segmenting an ``nbytes`` transfer."""
+    offset = 0
+    for size in segment_payload(nbytes):
+        yield offset, Packet.sized(src, dst, cmd, size, addr=addr, tag=tag)
+        offset += size

@@ -1,0 +1,85 @@
+"""Transaction-layer bookkeeping: tags and outstanding-request matching.
+
+Each request/response pair shares an 8-bit TAG (Fig. 3-(b)); the
+:class:`TagAllocator` hands out free tags and the :class:`TransactionTable`
+matches responses back to the waiting request event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.sim.engine import SimEvent, Simulator
+
+#: Tag space size (8-bit TAG field).
+TAG_SPACE = 256
+
+
+class TagAllocator:
+    """Round-robin allocator over the 8-bit tag space."""
+
+    def __init__(self, size: int = TAG_SPACE) -> None:
+        if not 0 < size <= TAG_SPACE:
+            raise ProtocolError(f"tag space size {size} invalid")
+        self._free: Deque[int] = deque(range(size))
+        self._in_use: set = set()
+
+    @property
+    def available(self) -> int:
+        """Number of free tags."""
+        return len(self._free)
+
+    def allocate(self) -> int:
+        """Take a free tag; raises :class:`ProtocolError` when exhausted."""
+        if not self._free:
+            raise ProtocolError("tag space exhausted")
+        tag = self._free.popleft()
+        self._in_use.add(tag)
+        return tag
+
+    def release(self, tag: int) -> None:
+        """Return a tag to the pool."""
+        if tag not in self._in_use:
+            raise ProtocolError(f"tag {tag} released but not in use")
+        self._in_use.remove(tag)
+        self._free.append(tag)
+
+
+class TransactionTable:
+    """Outstanding transactions keyed by (peer, tag)."""
+
+    def __init__(self, sim: Simulator, name: str = "txn") -> None:
+        self.sim = sim
+        self.name = name
+        self.tags = TagAllocator()
+        self._pending: Dict[Any, SimEvent] = {}
+
+    @property
+    def outstanding(self) -> int:
+        """Number of transactions awaiting responses."""
+        return len(self._pending)
+
+    def open(self, peer: int) -> "tuple[int, SimEvent]":
+        """Start a transaction to ``peer``; returns (tag, completion event)."""
+        tag = self.tags.allocate()
+        event = self.sim.event(name=f"{self.name}.t{tag}")
+        self._pending[(peer, tag)] = event
+        return tag, event
+
+    def complete(self, peer: int, tag: int, value: Optional[Any] = None) -> None:
+        """Match a response: fires the waiter and frees the tag."""
+        key = (peer, tag)
+        event = self._pending.pop(key, None)
+        if event is None:
+            raise ProtocolError(f"{self.name}: response for unknown txn {key}")
+        self.tags.release(tag)
+        event.succeed(value)
+
+    def abort(self, peer: int, tag: int) -> None:
+        """Drop a transaction without firing its event (link failure paths)."""
+        key = (peer, tag)
+        if self._pending.pop(key, None) is None:
+            raise ProtocolError(f"{self.name}: abort of unknown txn {key}")
+        self.tags.release(tag)

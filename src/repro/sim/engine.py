@@ -1,0 +1,225 @@
+"""Discrete-event simulation engine.
+
+A deliberately small SimPy-style kernel: a binary-heap event queue over
+integer picosecond timestamps, plus generator-based *processes*.  A process
+is a Python generator that yields one of:
+
+* an ``int`` — sleep for that many picoseconds,
+* a :class:`SimEvent` — suspend until the event succeeds; the event's value
+  is sent back into the generator,
+* a :class:`Process` — suspend until that process finishes,
+* :class:`AllOf` — suspend until every listed event/process has finished.
+
+The kernel is single-threaded and deterministic: events scheduled at the
+same timestamp fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event starts untriggered; calling :meth:`succeed` fires it exactly
+    once with an optional value, resuming every waiter.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_triggered", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._triggered = False
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (None before triggering)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Fire the event, resuming all waiters at the current time."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (now if already fired)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class AllOf:
+    """Condition satisfied when all child events/processes have fired."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Any]) -> None:
+        self.children = list(children)
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The generator's return value becomes :attr:`value`, and :attr:`done`
+    is a :class:`SimEvent` fired on completion.
+    """
+
+    __slots__ = ("sim", "name", "done", "_gen", "_finished")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = SimEvent(sim, name=f"{self.name}.done")
+        self._gen = gen
+        self._finished = False
+        sim._schedule_now(self._step, None)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the underlying generator has returned."""
+        return self._finished
+
+    @property
+    def value(self) -> Any:
+        """The generator's return value (None until finished)."""
+        return self.done.value
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.succeed(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, int):
+            if target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {target}"
+                )
+            self.sim.schedule(target, self._step, None)
+        elif isinstance(target, SimEvent):
+            target.add_callback(lambda ev: self.sim._schedule_now(self._step, ev.value))
+        elif isinstance(target, Process):
+            target.done.add_callback(
+                lambda ev: self.sim._schedule_now(self._step, ev.value)
+            )
+        elif isinstance(target, AllOf):
+            self._wait_all(target.children)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}"
+            )
+
+    def _wait_all(self, children: List[Any]) -> None:
+        pending = len(children)
+        if pending == 0:
+            self.sim._schedule_now(self._step, [])
+            return
+        results: List[Any] = [None] * pending
+        remaining = [pending]
+
+        def on_done(index: int, ev: SimEvent) -> None:
+            results[index] = ev.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self.sim._schedule_now(self._step, results)
+
+        for index, child in enumerate(children):
+            event = child.done if isinstance(child, Process) else child
+            if not isinstance(event, SimEvent):
+                raise SimulationError(f"AllOf child {child!r} is not waitable")
+            event.add_callback(lambda ev, i=index: on_done(i, ev))
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, callback, arg)`` entries."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, Callable[[Any], None], Any]] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh untriggered event bound to this simulator."""
+        return SimEvent(self, name=name)
+
+    def schedule(self, delay: int, callback: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``callback(arg)`` after ``delay`` picoseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback, arg))
+
+    def at(self, time: int, callback: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``callback(arg)`` at absolute time ``time``."""
+        self.schedule(time - self._now, callback, arg)
+
+    def _schedule_now(self, callback: Callable[[Any], None], arg: Any) -> None:
+        self.schedule(0, callback, arg)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a new process from a generator and return its handle."""
+        return Process(self, gen, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> SimEvent:
+        """An event that fires ``delay`` picoseconds from now."""
+        event = self.event(name="timeout")
+        self.schedule(delay, lambda _arg: event.succeed(value), None)
+        return event
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue; return the final simulation time.
+
+        ``until`` bounds simulated time; ``max_events`` guards against
+        runaway simulations (raises :class:`SimulationError` when hit).
+        """
+        processed = 0
+        while self._queue:
+            time, _seq, callback, arg = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            callback(arg)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return self._now
+
+    def run_process(self, gen: ProcessGen, name: str = "") -> Any:
+        """Convenience: start a process, run to completion, return its value."""
+        proc = self.process(gen, name=name)
+        self.run()
+        if not proc.finished:
+            raise SimulationError(f"process {proc.name!r} deadlocked")
+        return proc.value

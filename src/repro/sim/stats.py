@@ -1,0 +1,118 @@
+"""Statistics collection for simulation runs.
+
+A :class:`StatRegistry` is a flat namespace of named counters plus named
+histograms.  Components take a registry (or create a scoped child via
+:meth:`StatRegistry.scope`) and record events; experiment harnesses read
+the totals afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Histogram:
+    """A streaming histogram tracking count/sum/min/max and log2 buckets."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bucket = -1 if value <= 0 else int(math.floor(math.log2(value)))
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Sorted (log2-bucket, count) pairs."""
+        return sorted(self._buckets.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.2f}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class StatRegistry:
+    """Named counters and histograms with optional hierarchical prefixes."""
+
+    def __init__(self, prefix: str = "") -> None:
+        self._prefix = prefix
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _key(self, name: str) -> str:
+        return f"{self._prefix}{name}" if self._prefix else name
+
+    def scope(self, prefix: str) -> "StatRegistry":
+        """A view that writes into this registry under ``prefix.``."""
+        child = StatRegistry.__new__(StatRegistry)
+        child._prefix = self._key(prefix) + "."
+        child._counters = self._counters
+        child._histograms = self._histograms
+        return child
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        key = self._key(name)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter ``name`` to ``value`` (overwrites)."""
+        self._counters[self._key(name)] = value
+
+    def max(self, name: str, value: float) -> None:
+        """Raise counter ``name`` to ``value`` if larger."""
+        key = self._key(name)
+        self._counters[key] = max(self._counters.get(key, value), value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Read counter ``name`` (checked against this scope's prefix)."""
+        return self._counters.get(self._key(name), default)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram named ``name``."""
+        key = self._key(name)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = Histogram(key)
+            self._histograms[key] = hist
+        return hist
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """Snapshot of all counters whose full name starts with ``prefix``."""
+        full = self._key(prefix)
+        return {k: v for k, v in self._counters.items() if k.startswith(full)}
+
+    def sum(self, prefix: str) -> float:
+        """Sum of every counter under ``prefix``."""
+        return sum(self.counters(prefix).values())
+
+    def sum_suffix(self, suffix: str) -> float:
+        """Sum of every counter (any scope) whose name ends with ``suffix``.
+
+        Used to aggregate per-component counters such as
+        ``dimm3.core.busy_ps`` across the whole system.
+        """
+        return sum(v for k, v in self._counters.items() if k.endswith(suffix))
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:
+        return f"StatRegistry({len(self._counters)} counters)"

@@ -1,0 +1,43 @@
+"""Workload framework.
+
+A :class:`Workload` produces one op-stream factory per software thread
+(each factory can be called repeatedly — runs and the mapping profiler
+both need fresh streams).  Data is laid out across DIMMs by the workload
+itself; op targets are DIMM ids, so locality is decided by where threads
+are *placed*, which is exactly the knob distance-aware task mapping turns.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator, List
+
+from repro.errors import WorkloadError
+
+ThreadFactory = Callable[[], Iterator]
+
+
+class Workload(abc.ABC):
+    """Base class for all benchmark kernels (Table IV)."""
+
+    #: short name used in experiment tables.
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        """Build one re-invocable op-stream factory per thread."""
+
+    def validate(self, num_threads: int, num_dimms: int) -> None:
+        """Common argument validation for subclasses."""
+        if num_threads <= 0:
+            raise WorkloadError(f"{self.name}: need at least one thread")
+        if num_dimms <= 0:
+            raise WorkloadError(f"{self.name}: need at least one DIMM")
+
+    @staticmethod
+    def block_placement(num_threads: int, num_dimms: int, per_dimm: int) -> List[int]:
+        """Thread i -> DIMM i // per_dimm (the natural affinity placement)."""
+        return [min(i // per_dimm, num_dimms - 1) for i in range(num_threads)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

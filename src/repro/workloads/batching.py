@@ -1,0 +1,69 @@
+"""Helpers for emitting batched memory traffic.
+
+Application kernels touch fine-grained data (8-byte ranks, distances,
+cells), but NMP runtimes coalesce accesses to the same remote DIMM into
+packet-sized batches.  These helpers turn per-DIMM byte counts into
+interleaved chunked Read/Write ops, keeping event counts tractable while
+preserving the per-DIMM traffic volumes that determine IDC behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.workloads.ops import Read, Write
+
+#: default coalescing granularity for remote batches (DL packet-friendly).
+DEFAULT_CHUNK = 4096
+#: address stride between successive batches of one thread (spreads rows).
+OFFSET_STRIDE = 1 << 14
+
+
+class OffsetCursor:
+    """Deterministic rolling offsets so traffic spreads over DRAM rows."""
+
+    def __init__(self, thread_id: int) -> None:
+        self._next = (thread_id * 2654435761) % (1 << 28)
+
+    def take(self, nbytes: int) -> int:
+        """Return an offset for a batch of ``nbytes`` and advance."""
+        offset = self._next
+        self._next = (self._next + max(nbytes, 64) + OFFSET_STRIDE) % (1 << 30)
+        return offset - offset % 64
+
+
+def chunked(
+    per_dimm_bytes: Dict[int, int], chunk: int = DEFAULT_CHUNK
+) -> List[Tuple[int, int]]:
+    """Split per-DIMM byte counts into (dimm, chunk_bytes) pieces,
+    round-robin across DIMMs so transfers to different DIMMs overlap."""
+    queues = {d: n for d, n in per_dimm_bytes.items() if n > 0}
+    pieces: List[Tuple[int, int]] = []
+    while queues:
+        for dimm in sorted(queues):
+            take = min(chunk, queues[dimm])
+            pieces.append((dimm, take))
+            queues[dimm] -= take
+            if queues[dimm] <= 0:
+                del queues[dimm]
+    return pieces
+
+
+def batched_reads(
+    per_dimm_bytes: Dict[int, int],
+    cursor: OffsetCursor,
+    chunk: int = DEFAULT_CHUNK,
+) -> Iterator[Read]:
+    """Yield chunked Read ops covering the per-DIMM byte counts."""
+    for dimm, nbytes in chunked(per_dimm_bytes, chunk):
+        yield Read(dimm=dimm, offset=cursor.take(nbytes), nbytes=nbytes)
+
+
+def batched_writes(
+    per_dimm_bytes: Dict[int, int],
+    cursor: OffsetCursor,
+    chunk: int = DEFAULT_CHUNK,
+) -> Iterator[Write]:
+    """Yield chunked Write ops covering the per-DIMM byte counts."""
+    for dimm, nbytes in chunked(per_dimm_bytes, chunk):
+        yield Write(dimm=dimm, offset=cursor.take(nbytes), nbytes=nbytes)

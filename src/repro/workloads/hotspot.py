@@ -1,0 +1,83 @@
+"""Hotspot (2D thermal stencil, Table IV).
+
+The grid is row-strip-partitioned across threads; each iteration a thread
+streams its strip (temperature + power) from its home DIMM, exchanges halo
+rows with the threads owning the strips above and below, computes the
+stencil, writes the strip back, and synchronises.  Halo partners are
+adjacent blocks, so the traffic is nearest-neighbor — the pattern
+DIMM-Link's chain topology serves best.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import ThreadFactory, Workload
+from repro.workloads.batching import OffsetCursor, batched_reads, batched_writes
+from repro.workloads.graphkernels import data_dimm
+from repro.workloads.ops import Barrier, Compute
+
+CELL_BYTES = 8
+CYCLES_PER_CELL = 4
+
+
+class Hotspot(Workload):
+    """Iterative 5-point stencil over an ``rows x cols`` grid."""
+
+    name = "hotspot"
+
+    def __init__(self, rows: int = 512, cols: int = 512, iterations: int = 6) -> None:
+        if rows <= 0 or cols <= 0 or iterations <= 0:
+            raise WorkloadError("hotspot dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.iterations = iterations
+
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        self.validate(num_threads, num_dimms)
+        if num_threads > self.rows:
+            raise WorkloadError("more threads than grid rows")
+        row_bytes = self.cols * CELL_BYTES
+
+        def make_factory(thread_id: int) -> ThreadFactory:
+            strip_rows = self.rows // num_threads
+            home = data_dimm(thread_id, num_threads, num_dimms)
+            up = (
+                data_dimm(thread_id - 1, num_threads, num_dimms)
+                if thread_id > 0
+                else None
+            )
+            down = (
+                data_dimm(thread_id + 1, num_threads, num_dimms)
+                if thread_id < num_threads - 1
+                else None
+            )
+
+            def factory() -> Iterator:
+                def gen():
+                    cursor = OffsetCursor(thread_id)
+                    cells = strip_rows * self.cols
+                    for _iteration in range(self.iterations):
+                        # halo rows from the neighboring strips
+                        halo = {}
+                        for neighbor in (up, down):
+                            if neighbor is not None:
+                                halo[neighbor] = halo.get(neighbor, 0) + row_bytes
+                        if halo:
+                            yield from batched_reads(halo, cursor, chunk=4096)
+                        # stream temperature + power of the strip
+                        yield from batched_reads(
+                            {home: 2 * cells * CELL_BYTES}, cursor, chunk=8192
+                        )
+                        yield Compute(CYCLES_PER_CELL * cells)
+                        yield from batched_writes(
+                            {home: cells * CELL_BYTES}, cursor, chunk=8192
+                        )
+                        yield Barrier()
+
+                return gen()
+
+            return factory
+
+        return [make_factory(t) for t in range(num_threads)]

@@ -1,0 +1,62 @@
+"""Thread operations: the instruction set workloads are written in.
+
+A workload thread is a generator yielding these ops.  The same op stream
+drives an NMP core (where ``dimm`` determines local vs. remote access) and
+a host-CPU baseline core (where every access crosses a memory channel), so
+one workload implementation serves every system in the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute ``cycles`` core clock cycles of computation."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read ``nbytes`` at ``offset`` within DIMM ``dimm``'s address space."""
+
+    dimm: int
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write ``nbytes`` at ``offset`` within DIMM ``dimm``'s address space."""
+
+    dimm: int
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Broadcast ``nbytes`` from the thread's home DIMM to all DIMMs.
+
+    Requires an explicit API call in DIMM-Link programs (Sec. III-B); the
+    baseline mechanisms emulate it with whatever their hardware offers.
+    """
+
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Global synchronization across all threads of the kernel."""
+
+
+@dataclass(frozen=True)
+class Flush:
+    """Drain this thread's outstanding memory requests (local fence)."""
+
+
+#: Union of every op type (for isinstance checks and docs).
+Op = (Compute, Read, Write, Broadcast, Barrier, Flush)

@@ -1,0 +1,122 @@
+"""PageRank (pull-based iterations, Table IV) and its broadcast variant.
+
+Per iteration every thread streams its block's CSR slice locally, gathers
+the ranks of its neighbors from their owning DIMMs, writes its block's new
+ranks locally, and synchronises.  ``PageRankBC`` is the ABC-DIMM-style
+broadcast formulation used in Fig. 12: instead of fine-grained gathers,
+each thread broadcasts its rank block to all DIMMs once per iteration and
+then computes entirely locally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.workloads.base import ThreadFactory
+from repro.workloads.batching import OffsetCursor, batched_reads, batched_writes
+from repro.workloads.graphkernels import EDGE_BYTES, STATE_BYTES, GraphKernel
+from repro.workloads.ops import Barrier, Broadcast, Compute
+
+#: core cycles per edge relaxed / per vertex updated.
+CYCLES_PER_EDGE = 2
+CYCLES_PER_VERTEX = 6
+
+
+class PageRank(GraphKernel):
+    """Pull-based PageRank iterations."""
+
+    name = "pagerank"
+
+    def __init__(self, iterations: int = 8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.iterations = iterations
+
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        self.validate(num_threads, num_dimms)
+        layout = self._layout(num_threads, num_dimms)
+
+        def make_factory(thread_id: int) -> ThreadFactory:
+            block_vertices = int(layout["block_vertices"][thread_id])
+            block_edges = int(layout["block_edges"][thread_id])
+            edges_to_dimm = layout["edges_to_dimm"][thread_id]
+            home = int(layout["dimm_of_block"][thread_id])
+
+            def factory() -> Iterator:
+                def gen():
+                    cursor = OffsetCursor(thread_id)
+                    for _iteration in range(self.iterations):
+                        yield Compute(
+                            CYCLES_PER_EDGE * block_edges
+                            + CYCLES_PER_VERTEX * block_vertices
+                        )
+                        # stream the CSR slice from the home DIMM
+                        yield from batched_reads(
+                            {home: block_edges * EDGE_BYTES}, cursor, chunk=4096
+                        )
+                        # gather neighbor ranks from their owners
+                        yield from batched_reads(
+                            self.spread_bytes(edges_to_dimm), cursor
+                        )
+                        # write the block's new ranks
+                        yield from batched_writes(
+                            {home: block_vertices * STATE_BYTES}, cursor
+                        )
+                        yield Barrier()
+
+                return gen()
+
+            return factory
+
+        return [make_factory(t) for t in range(num_threads)]
+
+
+class PageRankBC(GraphKernel):
+    """Broadcast-formulated PageRank (Fig. 12)."""
+
+    name = "pagerank_bc"
+
+    def __init__(self, iterations: int = 8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.iterations = iterations
+
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        self.validate(num_threads, num_dimms)
+        layout = self._layout(num_threads, num_dimms)
+
+        def make_factory(thread_id: int) -> ThreadFactory:
+            block_vertices = int(layout["block_vertices"][thread_id])
+            block_edges = int(layout["block_edges"][thread_id])
+            home = int(layout["dimm_of_block"][thread_id])
+
+            def factory() -> Iterator:
+                def gen():
+                    cursor = OffsetCursor(thread_id)
+                    for _iteration in range(self.iterations):
+                        # publish this block's ranks to every DIMM
+                        yield Broadcast(
+                            offset=cursor.take(block_vertices * STATE_BYTES),
+                            nbytes=block_vertices * STATE_BYTES,
+                        )
+                        yield Barrier()
+                        # all neighbor ranks are now local: stream and relax
+                        yield from batched_reads(
+                            {
+                                home: block_edges * (EDGE_BYTES + STATE_BYTES)
+                            },
+                            cursor,
+                            chunk=4096,
+                        )
+                        yield Compute(
+                            CYCLES_PER_EDGE * block_edges
+                            + CYCLES_PER_VERTEX * block_vertices
+                        )
+                        yield from batched_writes(
+                            {home: block_vertices * STATE_BYTES}, cursor
+                        )
+                        yield Barrier()
+
+                return gen()
+
+            return factory
+
+        return [make_factory(t) for t in range(num_threads)]

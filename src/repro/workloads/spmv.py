@@ -1,0 +1,110 @@
+"""Sparse matrix-vector multiplication (broadcast-dominant, Fig. 12).
+
+``y = A x`` with the sparse matrix row-blocked across threads (the graph's
+adjacency serves as A).  The broadcast formulation follows ABC-DIMM: each
+iteration the x-vector's blocks are broadcast to every DIMM, after which
+the multiply is fully local.  The P2P formulation gathers x entries from
+their owners instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.workloads.base import ThreadFactory
+from repro.workloads.batching import OffsetCursor, batched_reads, batched_writes
+from repro.workloads.graphkernels import EDGE_BYTES, STATE_BYTES, GraphKernel
+from repro.workloads.ops import Barrier, Broadcast, Compute
+
+CYCLES_PER_NONZERO = 2
+CYCLES_PER_ROW = 8
+
+
+class SpMV(GraphKernel):
+    """Gather-based SpMV iterations."""
+
+    name = "spmv"
+
+    def __init__(self, iterations: int = 4, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.iterations = iterations
+
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        self.validate(num_threads, num_dimms)
+        layout = self._layout(num_threads, num_dimms)
+
+        def make_factory(thread_id: int) -> ThreadFactory:
+            rows = int(layout["block_vertices"][thread_id])
+            nonzeros = int(layout["block_edges"][thread_id])
+            edges_to_dimm = layout["edges_to_dimm"][thread_id]
+            home = int(layout["dimm_of_block"][thread_id])
+
+            def factory() -> Iterator:
+                def gen():
+                    cursor = OffsetCursor(thread_id)
+                    for _iteration in range(self.iterations):
+                        yield from batched_reads(
+                            {home: nonzeros * EDGE_BYTES}, cursor, chunk=4096
+                        )
+                        yield from batched_reads(
+                            self.spread_bytes(edges_to_dimm), cursor
+                        )
+                        yield Compute(
+                            CYCLES_PER_NONZERO * nonzeros + CYCLES_PER_ROW * rows
+                        )
+                        yield from batched_writes(
+                            {home: rows * STATE_BYTES}, cursor
+                        )
+                        yield Barrier()
+
+                return gen()
+
+            return factory
+
+        return [make_factory(t) for t in range(num_threads)]
+
+
+class SpMVBC(GraphKernel):
+    """Broadcast-formulated SpMV (Fig. 12)."""
+
+    name = "spmv_bc"
+
+    def __init__(self, iterations: int = 4, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.iterations = iterations
+
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        self.validate(num_threads, num_dimms)
+        layout = self._layout(num_threads, num_dimms)
+
+        def make_factory(thread_id: int) -> ThreadFactory:
+            rows = int(layout["block_vertices"][thread_id])
+            nonzeros = int(layout["block_edges"][thread_id])
+            home = int(layout["dimm_of_block"][thread_id])
+
+            def factory() -> Iterator:
+                def gen():
+                    cursor = OffsetCursor(thread_id)
+                    for _iteration in range(self.iterations):
+                        # publish this block of x to every DIMM
+                        yield Broadcast(
+                            offset=cursor.take(rows * STATE_BYTES),
+                            nbytes=rows * STATE_BYTES,
+                        )
+                        yield Barrier()
+                        yield from batched_reads(
+                            {home: nonzeros * (EDGE_BYTES + STATE_BYTES)},
+                            cursor,
+                            chunk=4096,
+                        )
+                        yield Compute(
+                            CYCLES_PER_NONZERO * nonzeros + CYCLES_PER_ROW * rows
+                        )
+                        yield from batched_writes({home: rows * STATE_BYTES}, cursor)
+                        yield Barrier()
+
+                return gen()
+
+            return factory
+
+        return [make_factory(t) for t in range(num_threads)]

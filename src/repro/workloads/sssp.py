@@ -1,0 +1,113 @@
+"""Single-Source Shortest Path (Bellman-Ford rounds, Table IV).
+
+Push-style relaxation: per round each thread streams its block's edges
+locally, reads neighbor distances from their owners, and pushes improved
+distances back as remote writes.  The improving fraction decays
+geometrically over rounds, so traffic front-loads like real SSSP.
+``SSSPBC`` broadcasts each block's distance updates instead (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.workloads.base import ThreadFactory
+from repro.workloads.batching import OffsetCursor, batched_reads, batched_writes
+from repro.workloads.graphkernels import EDGE_BYTES, STATE_BYTES, GraphKernel
+from repro.workloads.ops import Barrier, Broadcast, Compute
+
+CYCLES_PER_EDGE = 2
+CYCLES_PER_VERTEX = 6
+#: fraction of relaxations that improve a distance in round 0, decaying.
+IMPROVE_BASE = 0.5
+IMPROVE_DECAY = 0.65
+
+
+class SSSP(GraphKernel):
+    """Bellman-Ford-style SSSP."""
+
+    name = "sssp"
+
+    def __init__(self, rounds: int = 8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.rounds = rounds
+
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        self.validate(num_threads, num_dimms)
+        layout = self._layout(num_threads, num_dimms)
+
+        def make_factory(thread_id: int) -> ThreadFactory:
+            block_vertices = int(layout["block_vertices"][thread_id])
+            block_edges = int(layout["block_edges"][thread_id])
+            edges_to_dimm = layout["edges_to_dimm"][thread_id]
+            home = int(layout["dimm_of_block"][thread_id])
+
+            def factory() -> Iterator:
+                def gen():
+                    cursor = OffsetCursor(thread_id)
+                    for round_index in range(self.rounds):
+                        improve = IMPROVE_BASE * (IMPROVE_DECAY ** round_index)
+                        yield Compute(
+                            CYCLES_PER_EDGE * block_edges
+                            + CYCLES_PER_VERTEX * block_vertices
+                        )
+                        yield from batched_reads(
+                            {home: block_edges * EDGE_BYTES}, cursor, chunk=4096
+                        )
+                        # read current neighbor distances
+                        yield from batched_reads(
+                            self.spread_bytes(edges_to_dimm), cursor
+                        )
+                        # push improved distances to the owners
+                        yield from batched_writes(
+                            self.spread_bytes(edges_to_dimm, scale=improve), cursor
+                        )
+                        yield Barrier()
+
+                return gen()
+
+            return factory
+
+        return [make_factory(t) for t in range(num_threads)]
+
+
+class SSSPBC(GraphKernel):
+    """Broadcast-formulated SSSP (Fig. 12)."""
+
+    name = "sssp_bc"
+
+    def __init__(self, rounds: int = 8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.rounds = rounds
+
+    def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:
+        self.validate(num_threads, num_dimms)
+        layout = self._layout(num_threads, num_dimms)
+
+        def make_factory(thread_id: int) -> ThreadFactory:
+            block_vertices = int(layout["block_vertices"][thread_id])
+            block_edges = int(layout["block_edges"][thread_id])
+            home = int(layout["dimm_of_block"][thread_id])
+
+            def factory() -> Iterator:
+                def gen():
+                    cursor = OffsetCursor(thread_id)
+                    for round_index in range(self.rounds):
+                        improve = IMPROVE_BASE * (IMPROVE_DECAY ** round_index)
+                        updated = max(64, int(block_vertices * STATE_BYTES * improve))
+                        yield Broadcast(offset=cursor.take(updated), nbytes=updated)
+                        yield Barrier()
+                        yield from batched_reads(
+                            {home: block_edges * EDGE_BYTES}, cursor, chunk=4096
+                        )
+                        yield Compute(
+                            CYCLES_PER_EDGE * block_edges
+                            + CYCLES_PER_VERTEX * block_vertices
+                        )
+                        yield Barrier()
+
+                return gen()
+
+            return factory
+
+        return [make_factory(t) for t in range(num_threads)]

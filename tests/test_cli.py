@@ -1,0 +1,33 @@
+"""Tests for the dimmlink-repro CLI."""
+
+import pytest
+
+from repro.experiments.cli import experiment_names, main
+
+
+def test_experiment_names_cover_all_figures():
+    names = experiment_names()
+    for expected in ("fig1", "fig10", "fig14", "table1", "table2", "mapping", "all"):
+        assert expected in names
+
+
+def test_cli_runs_unsized_experiment(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "SerDes" in out
+
+
+def test_cli_runs_sized_experiment(capsys):
+    assert main(["fig11", "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "breakdown" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_rejects_unknown_size():
+    with pytest.raises(SystemExit):
+        main(["fig11", "--size", "huge"])

@@ -1,0 +1,94 @@
+"""Tests for system configuration (repro.config)."""
+
+import pytest
+
+from repro.config import (
+    PAPER_CONFIG_NAMES,
+    LinkConfig,
+    SystemConfig,
+    default_groups,
+)
+from repro.errors import ConfigError
+
+
+def test_named_parses_paper_style():
+    cfg = SystemConfig.named("16D-8C")
+    assert cfg.num_dimms == 16
+    assert cfg.num_channels == 8
+    assert cfg.name == "16D-8C"
+    assert cfg.dimms_per_channel == 2
+
+
+def test_named_rejects_garbage():
+    with pytest.raises(ConfigError):
+        SystemConfig.named("16x8")
+
+
+def test_all_paper_configs_valid():
+    for name in PAPER_CONFIG_NAMES:
+        cfg = SystemConfig.named(name)
+        assert cfg.name == name
+
+
+def test_grouping_rule_matches_paper():
+    # 4D-2C has one DL group; the rest have two.
+    assert len(SystemConfig.named("4D-2C").groups) == 1
+    assert len(SystemConfig.named("8D-4C").groups) == 2
+    assert len(SystemConfig.named("16D-8C").groups) == 2
+
+
+def test_default_groups_cover_all_dimms():
+    groups = default_groups(12)
+    assert sorted(d for g in groups for d in g) == list(range(12))
+
+
+def test_channel_layout_channel_major():
+    cfg = SystemConfig.named("16D-8C")
+    assert cfg.channel_of(0) == 0
+    assert cfg.channel_of(1) == 0
+    assert cfg.channel_of(2) == 1
+    assert cfg.dimms_on_channel(7) == [14, 15]
+
+
+def test_group_lookup_and_position():
+    cfg = SystemConfig.named("16D-8C")
+    assert cfg.group_of(0) == 0
+    assert cfg.group_of(8) == 1
+    assert cfg.position_in_group(9) == (1, 1)
+
+
+def test_master_dimm_is_group_middle():
+    cfg = SystemConfig.named("16D-8C")
+    assert cfg.master_dimm(0) == 4
+    assert cfg.master_dimm(1) == 12
+
+
+def test_indivisible_dimm_channel_combo_rejected():
+    with pytest.raises(ConfigError):
+        SystemConfig(num_dimms=10, num_channels=4)
+
+
+def test_bad_topology_rejected():
+    with pytest.raises(ConfigError):
+        SystemConfig(num_dimms=4, num_channels=2, topology="hypercube")
+
+
+def test_bad_groups_rejected():
+    with pytest.raises(ConfigError):
+        SystemConfig(num_dimms=4, num_channels=2, groups=[[0, 1], [2]])
+
+
+def test_out_of_range_lookups_rejected():
+    cfg = SystemConfig.named("4D-2C")
+    with pytest.raises(ConfigError):
+        cfg.channel_of(4)
+    with pytest.raises(ConfigError):
+        cfg.dimms_on_channel(2)
+
+
+def test_link_scaled_preserves_other_fields():
+    link = LinkConfig()
+    fast = link.scaled(64.0)
+    assert fast.bandwidth_gbps == 64.0
+    assert fast.hop_latency_ns == link.hop_latency_ns
+    assert link.bandwidth_gbps == 25.0

@@ -1,0 +1,77 @@
+"""Edge-case tests for the functional data-link layer (retries, loss)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.datalink import DataLinkEndpoint, LossyChannel, make_link_pair
+from repro.protocol.packet import Command, Packet
+from repro.sim import Simulator
+from repro.sim.time import ns
+
+
+def test_retry_exhaustion_raises():
+    sim = Simulator()
+    # error_rate ~1: every frame corrupted -> sender gives up after retries
+    side_a, _side_b = make_link_pair(sim, error_rate=0.999, seed=3)
+    side_a.max_retries = 3
+    side_a.send(Packet(src=0, dst=1, cmd=Command.WRITE_REQ, payload=b"x"))
+    with pytest.raises(ProtocolError):
+        sim.run()
+
+
+def test_unattached_endpoint_rejected():
+    sim = Simulator()
+    endpoint = DataLinkEndpoint(sim)
+    endpoint.send(Packet(src=0, dst=1, cmd=Command.READ_REQ))
+    with pytest.raises(ProtocolError):
+        sim.run()
+
+
+def test_channel_without_receiver_rejected():
+    sim = Simulator()
+    channel = LossyChannel(sim)
+    with pytest.raises(ProtocolError):
+        channel.send(b"data")
+
+
+def test_invalid_error_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(ProtocolError):
+        LossyChannel(sim, error_rate=1.0)
+
+
+def test_duplicate_suppression_on_ack_loss():
+    """If an ACK is lost the sender retransmits; the receiver must still
+    deliver exactly once."""
+    sim = Simulator()
+    side_a, side_b = make_link_pair(sim, error_rate=0.4, seed=11)
+    for index in range(10):
+        side_a.send(
+            Packet(src=0, dst=1, cmd=Command.WRITE_REQ, payload=bytes([index]) * 4)
+        )
+    sim.run()
+    delivered = [p.payload[0] for p in side_b.received]
+    assert sorted(delivered) == list(range(10))
+    assert len(delivered) == len(set(delivered))
+
+
+def test_channel_statistics():
+    sim = Simulator()
+    channel = LossyChannel(sim, error_rate=0.5, name="x")
+    received = []
+    channel.connect(received.append)
+    for _ in range(100):
+        channel.send(b"\x00" * 16)
+    sim.run()
+    assert channel.delivered + channel.corrupted == 100
+    assert channel.corrupted > 10
+
+
+def test_latency_applied_per_frame():
+    sim = Simulator()
+    side_a, side_b = make_link_pair(sim, latency_ps=ns(100))
+    side_a.send(Packet(src=0, dst=1, cmd=Command.READ_REQ))
+    sim.run()
+    # one data frame + one ACK frame, each ns(100): done no earlier than 200ns
+    assert sim.now >= ns(200)
+    assert len(side_b.received) == 1

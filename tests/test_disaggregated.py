@@ -1,0 +1,79 @@
+"""Tests for the disaggregated-memory extension (Sec. VI)."""
+
+import pytest
+
+from repro.core.disaggregated import (
+    CXL,
+    ETHERNET,
+    FABRICS,
+    RDMA,
+    DisaggregatedMemory,
+    fabric,
+)
+from repro.errors import ConfigError, RoutingError
+from repro.experiments import disaggregated_memory
+
+
+def test_fabric_lookup():
+    assert fabric("cxl") is CXL
+    assert fabric("rdma") is RDMA
+    assert fabric("ethernet") is ETHERNET
+    with pytest.raises(ConfigError):
+        fabric("carrier-pigeon")
+
+
+def test_fabric_latency_ordering():
+    assert CXL.latency_ns < RDMA.latency_ns < ETHERNET.latency_ns
+    assert CXL.bandwidth_gbps > RDMA.bandwidth_gbps > ETHERNET.bandwidth_gbps
+
+
+def test_cluster_construction_and_locate():
+    cluster = DisaggregatedMemory(num_blades=2, blade_config="4D-2C")
+    assert cluster.dimms_per_blade == 4
+    assert cluster.locate(0) == (0, 0)
+    assert cluster.locate(5) == (1, 1)
+    with pytest.raises(RoutingError):
+        cluster.locate(99)
+
+
+def test_intra_blade_transfer_uses_dimm_link():
+    cluster = DisaggregatedMemory(num_blades=2, blade_config="4D-2C")
+    done = []
+    cluster.transfer(0, 1, 4096).add_callback(lambda ev: done.append(True))
+    cluster.sim.run()
+    assert done == [True]
+    assert cluster.stats.get("disagg.intra_blade_bytes") == 4096
+    assert cluster.stats.get("disagg.inter_blade_bytes", 0) == 0
+
+
+def test_inter_blade_transfer_crosses_fabric():
+    cluster = DisaggregatedMemory(num_blades=2, blade_config="4D-2C")
+    done = []
+    cluster.transfer(0, 4, 4096).add_callback(lambda ev: done.append(True))
+    cluster.sim.run()
+    assert done == [True]
+    assert cluster.stats.get("disagg.inter_blade_bytes") == 4096
+
+
+def test_intra_blade_faster_than_inter_blade():
+    intra = DisaggregatedMemory(2, "4D-2C").measure_bandwidth(0, 1, 1 << 18)
+    inter = DisaggregatedMemory(2, "4D-2C").measure_bandwidth(0, 4, 1 << 18)
+    assert intra > inter
+
+
+def test_cxl_beats_ethernet_inter_blade():
+    cxl = DisaggregatedMemory(2, "4D-2C", "cxl").measure_bandwidth(0, 4, 1 << 18)
+    eth = DisaggregatedMemory(2, "4D-2C", "ethernet").measure_bandwidth(0, 4, 1 << 18)
+    assert cxl > eth
+
+
+def test_invalid_blade_count():
+    with pytest.raises(ConfigError):
+        DisaggregatedMemory(num_blades=0)
+
+
+def test_experiment_rows_cover_all_fabrics():
+    rows = disaggregated_memory.run(nbytes=1 << 16, blade_config="4D-2C")
+    assert {r["fabric"] for r in rows} == set(FABRICS)
+    for row in rows:
+        assert row["gap_x"] > 1.0

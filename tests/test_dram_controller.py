@@ -1,0 +1,88 @@
+"""Tests for the FR-FCFS queued memory controller."""
+
+import pytest
+
+from repro.dram import DDR4_2400_LRDIMM, DRAMModule, FRFCFSController
+from repro.errors import SimulationError
+from repro.sim import Simulator, StatRegistry
+
+
+def _setup(ranks=1, window=16):
+    sim = Simulator()
+    module = DRAMModule(sim, DDR4_2400_LRDIMM, ranks, StatRegistry())
+    return sim, module, FRFCFSController(sim, module, reorder_window=window)
+
+
+def test_single_request_completes():
+    sim, _, controller = _setup()
+    done = []
+    controller.submit(0, 64, False).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1
+    assert controller.queue_depth == 0
+
+
+def test_multi_line_request_fires_once():
+    sim, _, controller = _setup()
+    done = []
+    controller.submit(0, 1024, False).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1  # 16 lines, one completion event
+
+
+def test_row_hit_reordering_happens():
+    sim, module, controller = _setup(window=8)
+    timing = DDR4_2400_LRDIMM
+    # same bank, alternating rows: A B A B -> FR-FCFS pulls the second A
+    # forward while row A is open
+    row_stride = timing.banks_per_rank * timing.row_bytes
+    addresses = [0, row_stride, 64 * timing.banks_per_rank, row_stride + 64 * timing.banks_per_rank]
+    for address in addresses:
+        controller.submit(address, 64, False)
+    sim.run()
+    assert controller.row_hits_scheduled >= 1
+
+
+def test_reordering_beats_fifo_on_interleaved_rows():
+    def run(window):
+        sim, module, controller = _setup(window=window)
+        timing = DDR4_2400_LRDIMM
+        row_stride = timing.banks_per_rank * timing.row_bytes
+        ends = []
+        for index in range(12):
+            row = (index % 2) * row_stride
+            column = (index // 2) * 64 * timing.banks_per_rank
+            controller.submit(row + column, 64, False).add_callback(
+                lambda ev: ends.append(sim.now)
+            )
+        sim.run()
+        return max(ends)
+
+    assert run(window=12) < run(window=1)
+
+
+def test_fcfs_order_preserved_without_hits():
+    sim, _, controller = _setup()
+    order = []
+    for index in range(4):
+        controller.submit(index * 64, 64, False).add_callback(
+            lambda ev, i=index: order.append(i)
+        )
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_invalid_inputs_rejected():
+    sim, module, controller = _setup()
+    with pytest.raises(SimulationError):
+        controller.submit(0, 0, False)
+    with pytest.raises(SimulationError):
+        FRFCFSController(sim, module, reorder_window=0)
+
+
+def test_requests_counter():
+    sim, _, controller = _setup()
+    controller.submit(0, 64, False)
+    controller.submit(4096, 64, True)
+    sim.run()
+    assert controller.requests == 2

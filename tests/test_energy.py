@@ -1,0 +1,123 @@
+"""Tests for the energy model (repro.energy)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.energy.accounting import energy_report
+from repro.energy.params import DEFAULT_PARAMS, EnergyParams
+from repro.nmp.results import RunResult
+from repro.nmp.system import NMPSystem
+from repro.sim import StatRegistry
+from repro.sim.time import us
+from repro.workloads.microbench import UniformRandom
+
+
+def _result(counters, time_ps=us(10), mechanism="dimm_link"):
+    stats = StatRegistry()
+    for name, value in counters.items():
+        stats.add(name, value)
+    return RunResult(
+        system_name="16D-8C",
+        mechanism=mechanism,
+        workload="test",
+        time_ps=time_ps,
+        thread_end_ps=[time_ps],
+        stats=stats,
+    )
+
+
+def test_paper_constants():
+    assert DEFAULT_PARAMS.dl_pj_per_bit == 1.17
+    assert DEFAULT_PARAMS.bus_pj_per_bit == 22.0
+    assert DEFAULT_PARAMS.dram_pj_per_bit == 14.0
+    assert DEFAULT_PARAMS.activate_nj == 2.1
+    assert DEFAULT_PARAMS.nmp_processor_w == 1.8
+
+
+def test_dram_energy_formula():
+    config = SystemConfig.named("16D-8C")
+    result = _result({"dram.read_bytes": 1_000_000, "dram.activates": 100})
+    report = energy_report(result, config, polling="proxy")
+    expected = 1_000_000 * 8 * 14e-12 + 100 * 2.1e-9
+    assert report.dram_j == pytest.approx(expected)
+
+
+def test_dl_link_energy_uses_grs_constant():
+    config = SystemConfig.named("16D-8C")
+    result = _result({"dl.hop_bytes": 1_000_000})
+    report = energy_report(result, config, polling="proxy")
+    assert report.dl_link_j == pytest.approx(1_000_000 * 8 * 1.17e-12)
+
+
+def test_bus_energy_includes_dedicated_bus():
+    config = SystemConfig.named("16D-8C")
+    result = _result({"bus.bytes": 500, "idc.dedicated_bus_bytes": 500})
+    report = energy_report(result, config, polling="baseline")
+    assert report.bus_j == pytest.approx(1000 * 8 * 22e-12)
+
+
+def test_nmp_static_scales_with_time_and_dimms():
+    config = SystemConfig.named("16D-8C")
+    short = energy_report(_result({}, time_ps=us(10)), config, polling="proxy")
+    long = energy_report(_result({}, time_ps=us(20)), config, polling="proxy")
+    assert long.nmp_static_j == pytest.approx(2 * short.nmp_static_j)
+    assert short.nmp_static_j == pytest.approx(16 * 1.8 * 10e-6)
+
+
+def test_cpu_runs_have_no_nmp_static():
+    config = SystemConfig.named("16D-8C")
+    report = energy_report(_result({}, mechanism="cpu"), config, polling="baseline")
+    assert report.nmp_static_j == 0.0
+
+
+def test_baseline_polling_energy_grows_with_runtime():
+    config = SystemConfig.named("16D-8C")
+    short = energy_report(_result({}, time_ps=us(10)), config, polling="baseline")
+    long = energy_report(_result({}, time_ps=us(100)), config, polling="baseline")
+    assert long.host_j > short.host_j
+
+
+def test_interrupt_polling_energy_is_event_based():
+    config = SystemConfig.named("16D-8C")
+    result = _result({"poll.scan_reads": 10, "poll.notices": 5})
+    report = energy_report(result, config, polling="baseline+interrupt")
+    expected = 10 * DEFAULT_PARAMS.poll_nj * 1e-9 + 5 * DEFAULT_PARAMS.interrupt_nj * 1e-9
+    assert report.host_j == pytest.approx(expected)
+
+
+def test_total_is_sum_of_categories():
+    config = SystemConfig.named("16D-8C")
+    result = _result(
+        {"dram.read_bytes": 1000, "dl.hop_bytes": 1000, "bus.bytes": 1000, "fwd.ops": 3}
+    )
+    report = energy_report(result, config, polling="proxy")
+    assert report.total_j == pytest.approx(
+        report.dram_j + report.dl_link_j + report.bus_j
+        + report.nmp_static_j + report.host_j
+    )
+    assert set(report.as_dict()) == {
+        "dram", "dl_link", "bus", "nmp_static", "host", "idc", "total"
+    }
+
+
+def test_custom_params_scale_linearly():
+    config = SystemConfig.named("16D-8C")
+    result = _result({"dram.read_bytes": 1000})
+    doubled = EnergyParams(dram_pj_per_bit=28.0)
+    base = energy_report(result, config, polling="proxy")
+    scaled = energy_report(result, config, polling="proxy", params=doubled)
+    assert scaled.dram_j == pytest.approx(2 * base.dram_j, rel=0.01)
+
+
+def test_real_run_energy_consistency():
+    """End-to-end: MCN spends more IDC energy than DIMM-Link on the same
+    remote-heavy kernel (the Fig. 13 claim)."""
+    workload = UniformRandom(ops_per_thread=60, remote_fraction=0.5, seed=2)
+    reports = {}
+    for mech in ("mcn", "dimm_link"):
+        system = NMPSystem(SystemConfig.named("8D-4C"), idc=mech)
+        result = system.run(workload.thread_factories(32, 8))
+        reports[mech] = energy_report(
+            result, system.config, polling=result.polling
+        )
+    assert reports["mcn"].idc_j > reports["dimm_link"].idc_j

@@ -1,0 +1,58 @@
+"""Tests for the thread executor (window, drain, stall attribution)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.nmp.system import NMPSystem
+from repro.workloads.ops import Compute, Flush, Read, Write
+
+
+def _run(ops, config="4D-2C", placement=None):
+    system = NMPSystem(SystemConfig.named(config))
+    result = system.run([lambda: iter(list(ops))], placement=placement or [0])
+    return system, result
+
+
+def test_unknown_op_rejected():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    with pytest.raises(WorkloadError):
+        system.run([lambda: iter(["not-an-op"])])
+
+
+def test_compute_only_thread_time():
+    _, result = _run([Compute(2500)])  # 2500 cycles at 2.5 GHz = 1000 ns
+    assert result.time_ps == pytest.approx(1_000_000, rel=0.01)
+
+
+def test_window_limits_outstanding_requests():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    ops = [Read(dimm=1, offset=i * 64, nbytes=64) for i in range(64)]
+    ops.append(Flush())
+    system.run([lambda: iter(list(ops))], placement=[0])
+    window = system.config.nmp.outstanding_window
+    assert system.dimms[0].cores[0]._window.peak_in_use <= window
+
+
+def test_flush_waits_for_outstanding_writes():
+    system, result = _run([Write(dimm=1, offset=0, nbytes=1 << 16), Flush()])
+    # the remote write must have fully completed inside the thread's time
+    assert result.time_ps >= (1 << 16) / 25.0 * 1000  # wire time on one link
+
+
+def test_cache_hits_recorded_for_local_reads():
+    ops = [Read(dimm=0, offset=i * 64, nbytes=64) for i in range(200)]
+    ops.append(Flush())
+    system, result = _run(ops)
+    hits = result.counter("core.cache_hits")
+    assert 0 < hits < 200
+    # roughly the configured local hit rate
+    assert hits / 200 == pytest.approx(0.25, abs=0.1)
+
+
+def test_remote_ops_counted():
+    ops = [Read(dimm=1, offset=0, nbytes=64), Read(dimm=0, offset=0, nbytes=64), Flush()]
+    _, result = _run(ops)
+    assert result.counter("core.mem_ops") == 2
+    assert result.counter("core.remote_ops") == 1
+    assert result.counter("core.remote_bytes") == 64

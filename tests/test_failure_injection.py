@@ -1,0 +1,96 @@
+"""Failure-injection tests: lossy DL links with DLL retries."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import RoutingError
+from repro.interconnect.network import PacketNetwork
+from repro.interconnect.topology import Topology
+from repro.nmp.system import NMPSystem
+from repro.sim import Simulator, StatRegistry
+from repro.sim.time import ns
+from repro.workloads.microbench import UniformRandom
+
+
+def _network(error_rate):
+    sim = Simulator()
+    stats = StatRegistry()
+    network = PacketNetwork(
+        sim, Topology("half_ring", 4), 25.0, ns(10), ns(2), stats,
+        error_rate=error_rate,
+    )
+    return sim, stats, network
+
+
+def test_invalid_error_rate_rejected():
+    with pytest.raises(RoutingError):
+        _network(1.5)
+
+
+def test_clean_link_never_retransmits():
+    sim, stats, network = _network(0.0)
+    for _ in range(50):
+        network.send(0, 3, 64)
+    sim.run()
+    assert stats.get("dl.retransmissions") == 0
+
+
+def test_lossy_link_retransmits_roughly_at_rate():
+    sim, stats, network = _network(0.2)
+    for _ in range(200):
+        network.send(0, 3, 64)
+    sim.run()
+    hops = stats.get("dl.hops")
+    retries = stats.get("dl.retransmissions")
+    assert retries > 0
+    assert retries / hops == pytest.approx(0.2, abs=0.08)
+
+
+def test_errors_slow_delivery_but_never_lose_packets():
+    clean_time = lossy_time = None
+    for rate in (0.0, 0.3):
+        sim, stats, network = _network(rate)
+        done = []
+        for _ in range(50):
+            network.send(0, 3, 256).add_callback(lambda ev: done.append(1))
+        sim.run()
+        assert len(done) == 50  # reliable delivery either way
+        if rate == 0.0:
+            clean_time = sim.now
+        else:
+            lossy_time = sim.now
+    assert lossy_time > clean_time
+
+
+def test_deterministic_error_pattern():
+    def run():
+        sim, stats, network = _network(0.25)
+        for _ in range(100):
+            network.send(0, 2, 64)
+        sim.run()
+        return stats.get("dl.retransmissions"), sim.now
+
+    assert run() == run()
+
+
+def test_system_level_run_survives_lossy_links():
+    config = SystemConfig.named("8D-4C")
+    config.link = dataclasses.replace(config.link, error_rate=0.1)
+    system = NMPSystem(config, idc="dimm_link")
+    workload = UniformRandom(ops_per_thread=30, remote_fraction=0.5, seed=9)
+    result = system.run(workload.thread_factories(32, 8))
+    assert result.time_ps > 0
+    assert result.counter("dl.retransmissions") > 0
+
+
+def test_lossy_system_slower_than_clean():
+    def run(rate):
+        config = SystemConfig.named("8D-4C")
+        config.link = dataclasses.replace(config.link, error_rate=rate)
+        system = NMPSystem(config, idc="dimm_link")
+        workload = UniformRandom(ops_per_thread=30, remote_fraction=0.6, seed=9)
+        return system.run(workload.thread_factories(32, 8)).time_ps
+
+    assert run(0.2) > run(0.0)

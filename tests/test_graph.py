@@ -1,0 +1,122 @@
+"""Tests for the graph substrate (R-MAT, CSR, partitioning, refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.graph import (
+    Graph,
+    bisection_refine,
+    cross_fraction,
+    cross_partition_edges,
+    edge_balanced_bounds,
+    from_edges,
+    grouped_edge_balanced_bounds,
+    owner_of,
+    partition_bounds,
+    rmat,
+)
+
+
+def test_from_edges_builds_valid_csr():
+    src = np.array([0, 0, 1, 2])
+    dst = np.array([1, 2, 2, 0])
+    graph = from_edges(3, src, dst)
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 4
+    assert list(graph.neighbors(0)) == [1, 2]
+    assert graph.degree(1) == 1
+
+
+def test_from_edges_deduplicates():
+    src = np.array([0, 0, 0])
+    dst = np.array([1, 1, 2])
+    graph = from_edges(3, src, dst)
+    assert graph.num_edges == 2
+
+
+def test_rmat_deterministic_per_seed():
+    a = rmat(8, 4, seed=1)
+    b = rmat(8, 4, seed=1)
+    c = rmat(8, 4, seed=2)
+    assert np.array_equal(a.indices, b.indices)
+    assert not np.array_equal(a.indices, c.indices)
+
+
+def test_rmat_undirected_is_symmetric():
+    graph = rmat(7, 4, seed=3)
+    edges = set()
+    for v in range(graph.num_vertices):
+        for u in graph.neighbors(v):
+            edges.add((v, int(u)))
+    assert all((u, v) in edges for v, u in edges)
+
+
+def test_rmat_power_law_degree_skew():
+    graph = rmat(11, 8, seed=42)
+    degrees = np.diff(graph.indptr)
+    assert degrees.max() > 8 * degrees.mean()
+
+
+def test_rmat_scale_bounds():
+    with pytest.raises(WorkloadError):
+        rmat(0)
+    with pytest.raises(WorkloadError):
+        rmat(25)
+
+
+def test_partition_bounds_cover_range():
+    bounds = partition_bounds(100, 7)
+    assert bounds[0] == 0 and bounds[-1] == 100
+    assert all(b2 >= b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+
+def test_owner_of_matches_bounds():
+    total, parts = 100, 7
+    bounds = partition_bounds(total, parts)
+    for index in range(total):
+        owner = owner_of(index, total, parts)
+        assert bounds[owner] <= index < bounds[owner + 1]
+
+
+def test_cross_partition_edges_conserves_total():
+    graph = rmat(9, 4, seed=5)
+    matrix = cross_partition_edges(graph, 8)
+    assert matrix.sum() == graph.num_edges
+
+
+def test_edge_balanced_bounds_balance():
+    graph = rmat(11, 8, seed=42)
+    bounds = edge_balanced_bounds(graph, 16)
+    per_block = [
+        graph.indptr[bounds[i + 1]] - graph.indptr[bounds[i]] for i in range(16)
+    ]
+    mean = graph.num_edges / 16
+    assert max(per_block) < 2.0 * mean  # far tighter than vertex-balanced
+
+
+def test_grouped_bounds_respect_half_boundary():
+    graph = rmat(10, 8, seed=42)
+    bounds = grouped_edge_balanced_bounds(graph, 8)
+    assert bounds[4] == graph.num_vertices // 2
+    assert len(bounds) == 9
+
+
+def test_bisection_refine_reduces_cross_edges():
+    graph = rmat(11, 8, seed=42)
+    refined = bisection_refine(graph)
+    assert cross_fraction(refined) < cross_fraction(graph)
+    # graph is only relabeled: same size
+    assert refined.num_vertices == graph.num_vertices
+    assert refined.num_edges == graph.num_edges
+
+
+def test_bisection_refine_preserves_degree_multiset():
+    graph = rmat(9, 6, seed=9)
+    refined = bisection_refine(graph)
+    assert sorted(np.diff(graph.indptr)) == sorted(np.diff(refined.indptr))
+
+
+def test_invalid_csr_rejected():
+    with pytest.raises(WorkloadError):
+        Graph(np.array([1, 2]), np.array([0]))

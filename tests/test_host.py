@@ -1,0 +1,229 @@
+"""Tests for host-side components: channels, polling, forwarding, CPU."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.host.cpu import HostCPUSystem
+from repro.host.forwarding import ForwardController
+from repro.host.memchannel import MemoryChannel
+from repro.host.polling import POLLING_STRATEGIES, make_polling
+from repro.nmp.system import NMPSystem
+from repro.sim import Simulator, StatRegistry
+from repro.sim.time import ns
+from repro.workloads.microbench import UniformRandom
+from repro.workloads.ops import Compute, Read
+
+
+def _channels(config, sim, stats):
+    return [
+        MemoryChannel(sim, ch, config.dimms_on_channel(ch), config.channel, stats)
+        for ch in range(config.num_channels)
+    ]
+
+
+# -- memory channel ---------------------------------------------------------------
+
+def test_channel_transfer_counts_bytes_by_kind():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("4D-2C")
+    channel = _channels(config, sim, stats)[0]
+    channel.transfer(512, kind="fwd")
+    channel.transfer(256, kind="poll")
+    sim.run()
+    assert stats.get("bus.fwd_bytes") == 512
+    assert stats.get("bus.poll_bytes") == 256
+    assert stats.get("bus.bytes") == 768
+
+
+def test_channel_polling_load_raises_occupancy():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("4D-2C")
+    channel = _channels(config, sim, stats)[0]
+    channel.set_polling_load(0.3)
+    sim.schedule(ns(1000), lambda _: None)
+    sim.run()
+    assert channel.occupancy() == pytest.approx(0.3)
+
+
+# -- polling strategies ---------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", POLLING_STRATEGIES)
+def test_polling_notice_fires(strategy):
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("16D-8C")
+    polling = make_polling(strategy, sim, config, stats)
+    polling.configure(_channels(config, sim, stats))
+    fired = []
+    polling.notice(3).add_callback(lambda ev: fired.append(sim.now))
+    sim.run()
+    assert len(fired) == 1
+    assert fired[0] > 0
+
+
+def test_unknown_polling_strategy_rejected():
+    sim, stats = Simulator(), StatRegistry()
+    with pytest.raises(ConfigError):
+        make_polling("telepathy", sim, SystemConfig.named("4D-2C"), stats)
+
+
+def test_baseline_polling_taxes_every_channel():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("16D-8C")
+    polling = make_polling("baseline", sim, config, stats)
+    channels = _channels(config, sim, stats)
+    polling.configure(channels)
+    sim.schedule(ns(1000), lambda _: None)
+    sim.run()
+    for channel in channels:
+        assert channel.occupancy() == pytest.approx(130 / 400)
+
+
+def test_proxy_polling_taxes_only_proxy_channels():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("16D-8C")
+    polling = make_polling("proxy", sim, config, stats)
+    channels = _channels(config, sim, stats)
+    polling.configure(channels)
+    sim.schedule(ns(1000), lambda _: None)
+    sim.run()
+    taxed = [ch.channel_id for ch in channels if ch.occupancy() > 0]
+    proxies = {config.master_dimm(g) for g in range(len(config.groups))}
+    assert set(taxed) == {config.channel_of(p) for p in proxies}
+
+
+def test_proxy_of_maps_to_group_master():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("16D-8C")
+    polling = make_polling("proxy", sim, config, stats)
+    assert polling.proxy_of(0) == config.master_dimm(0)
+    assert polling.proxy_of(15) == config.master_dimm(1)
+
+
+def test_interrupt_polling_scans_channel_and_costs_latency():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("16D-8C")
+    polling = make_polling("baseline+interrupt", sim, config, stats)
+    polling.configure(_channels(config, sim, stats))
+    fired = []
+    polling.notice(3).add_callback(lambda ev: fired.append(sim.now))
+    sim.run()
+    assert fired[0] >= ns(config.host.interrupt_latency_ns)
+    assert stats.get("poll.scan_reads") == config.dimms_per_channel
+
+
+def test_interrupt_slower_than_proxy_notice():
+    config = SystemConfig.named("16D-8C")
+    times = {}
+    for strategy in ("proxy", "proxy+interrupt"):
+        sim, stats = Simulator(), StatRegistry()
+        polling = make_polling(strategy, sim, config, stats)
+        polling.configure(_channels(config, sim, stats))
+        fired = []
+        polling.notice(0).add_callback(lambda ev: fired.append(sim.now))
+        sim.run()
+        times[strategy] = fired[0]
+    assert times["proxy"] < times["proxy+interrupt"]
+
+
+# -- forward controller -----------------------------------------------------------
+
+def test_forward_crosses_both_channels():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("4D-2C")
+    polling = make_polling("baseline", sim, config, stats)
+    channels = _channels(config, sim, stats)
+    polling.configure(channels)
+    controller = ForwardController(sim, config, channels, polling, stats)
+    done = []
+    controller.forward(0, 2, 1024).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1
+    assert stats.get("fwd.ops") == 1
+    assert stats.get("bus.fwd_bytes") == 2048  # source + destination channel
+
+
+def test_forward_notice_skip_is_faster():
+    config = SystemConfig.named("4D-2C")
+    times = {}
+    for notice in (None, -1):
+        sim, stats = Simulator(), StatRegistry()
+        polling = make_polling("baseline", sim, config, stats)
+        channels = _channels(config, sim, stats)
+        polling.configure(channels)
+        controller = ForwardController(sim, config, channels, polling, stats)
+        controller.forward(0, 2, 64, notice_dimm=notice)
+        sim.run()
+        times[notice] = sim.now
+    assert times[-1] < times[None]
+
+
+def test_forward_engine_serialises_bulk():
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig.named("4D-2C")
+    polling = make_polling("baseline", sim, config, stats)
+    channels = _channels(config, sim, stats)
+    polling.configure(channels)
+    controller = ForwardController(sim, config, channels, polling, stats)
+    done = []
+    for _ in range(4):
+        controller.forward(0, 2, 1 << 20, notice_dimm=-1).add_callback(
+            lambda ev: done.append(sim.now)
+        )
+    sim.run()
+    assert sorted(done) == done and done[-1] > done[0]
+    assert controller.engine.busy_ps >= 4 * (1 << 20) / 18.0 * 1000 * 0.99
+
+
+# -- host CPU baseline ---------------------------------------------------------
+
+def test_cpu_baseline_runs_workload():
+    config = SystemConfig.named("4D-2C")
+    system = HostCPUSystem(config)
+    workload = UniformRandom(ops_per_thread=40, seed=5)
+    result = system.run(workload.thread_factories(8, 4), workload_name="uniform")
+    assert result.mechanism == "cpu"
+    assert result.time_ps > 0
+    assert len(result.thread_end_ps) == 8
+
+
+def test_cpu_compute_scales_with_oversubscription():
+    config = SystemConfig.named("4D-2C")
+
+    def compute_only(cycles):
+        def factory():
+            def gen():
+                yield Compute(cycles)
+            return gen()
+        return factory
+
+    few = HostCPUSystem(config).run([compute_only(60000)] * 16)
+    many = HostCPUSystem(config).run([compute_only(60000)] * 64)
+    assert many.time_ps == pytest.approx(4 * few.time_ps, rel=0.01)
+
+
+def test_cpu_baseline_channels_are_derated():
+    config = SystemConfig.named("4D-2C")
+    cpu = HostCPUSystem(config)
+    nmp = NMPSystem(config, idc="aim")
+    assert cpu.channels[0].bus.bytes_per_ns < nmp.channels[0].bus.bytes_per_ns
+
+
+def test_cpu_barrier_requires_all_threads():
+    config = SystemConfig.named("4D-2C")
+    system = HostCPUSystem(config)
+    from repro.workloads.ops import Barrier
+
+    order = []
+
+    def thread(delay_cycles, tag):
+        def factory():
+            def gen():
+                yield Compute(delay_cycles)
+                yield Barrier()
+                order.append((tag, system.sim.now))
+            return gen()
+        return factory
+
+    system.run([thread(100, "fast"), thread(50000, "slow")])
+    assert abs(order[0][1] - order[1][1]) < ns(1)  # released together

@@ -1,0 +1,156 @@
+"""Tests for the baseline IDC mechanisms (MCN, AIM, ABC-DIMM)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.idc import make_mechanism, mechanism_names, peak_bandwidth
+from repro.nmp.system import NMPSystem
+
+
+def _system(mech, name="4D-2C"):
+    return NMPSystem(SystemConfig.named(name), idc=mech)
+
+
+# -- factory ------------------------------------------------------------------
+
+def test_mechanism_factory_names():
+    assert set(mechanism_names()) == {"mcn", "aim", "abc", "dimm_link"}
+    for name in mechanism_names():
+        assert make_mechanism(name).name == name
+    with pytest.raises(ConfigError):
+        make_mechanism("quantum")
+
+
+# -- MCN (CPU forwarding) --------------------------------------------------------
+
+def test_mcn_read_round_trips_through_host():
+    system = _system("mcn")
+    done = []
+    system.idc.remote_read(0, 1, 0, 256).add_callback(lambda ev: done.append(True))
+    system.sim.run()
+    assert done == [True]
+    assert system.stats.get("fwd.ops") == 2  # request + data return
+    assert system.stats.get("idc.forwarded_bytes") == 256
+
+
+def test_mcn_write_single_forward():
+    system = _system("mcn")
+    system.idc.remote_write(0, 1, 0, 256)
+    system.sim.run()
+    assert system.stats.get("fwd.ops") == 1
+    assert system.stats.get("dimm1.dram.write_bytes") == 256
+
+
+def test_mcn_broadcast_writes_every_dimm():
+    system = _system("mcn")
+    system.idc.broadcast(0, 0, 128)
+    system.sim.run()
+    for dimm in range(1, 4):
+        assert system.stats.get(f"dimm{dimm}.dram.write_bytes") == 128
+    # broadcast payload crossed each destination's channel individually
+    assert system.stats.get("idc.forwarded_bytes") == 3 * 128
+
+
+def test_mcn_uses_both_channels_for_cross_channel_read():
+    system = _system("mcn")
+    system.idc.remote_read(0, 2, 0, 1024)  # dimm0 ch0, dimm2 ch1
+    system.sim.run()
+    assert system.stats.get("bus.fwd_bytes") > 2 * 1024  # both crossings
+
+
+# -- AIM (dedicated bus) -----------------------------------------------------------
+
+def test_aim_read_no_host_involvement():
+    system = _system("aim")
+    done = []
+    system.idc.remote_read(0, 1, 0, 256).add_callback(lambda ev: done.append(True))
+    system.sim.run()
+    assert done == [True]
+    assert system.stats.get("fwd.ops") == 0
+    assert system.stats.get("bus.fwd_bytes") == 0
+    assert system.stats.get("idc.dedicated_bus_bytes") > 256
+
+
+def test_aim_bus_serialises_transfers():
+    system = _system("aim")
+    done = []
+    for _ in range(2):
+        system.idc.remote_write(0, 1, 0, 65536).add_callback(
+            lambda ev: done.append(system.sim.now)
+        )
+    system.sim.run()
+    assert done[1] > done[0]
+    # the second transfer waited for the shared bus
+    assert done[1] - done[0] >= (65536 / 19.2) * 1000 * 0.9
+
+
+def test_aim_broadcast_single_bus_transfer():
+    system = _system("aim")
+    system.idc.broadcast(0, 0, 256)
+    system.sim.run()
+    # one snooped transfer, all others store it
+    assert system.stats.get("idc.broadcast_ops") == 1
+    for dimm in range(1, 4):
+        assert system.stats.get(f"dimm{dimm}.dram.write_bytes") == 256
+
+
+def test_aim_latency_below_mcn():
+    aim = _system("aim")
+    aim.idc.remote_read(0, 1, 0, 64)
+    aim.sim.run()
+    aim_time = aim.sim.now
+    mcn = _system("mcn")
+    mcn.idc.remote_read(0, 1, 0, 64)
+    mcn.sim.run()
+    assert aim_time < mcn.sim.now
+
+
+# -- ABC-DIMM -------------------------------------------------------------------
+
+def test_abc_p2p_inherits_cpu_forwarding():
+    system = _system("abc")
+    system.idc.remote_read(0, 1, 0, 256)
+    system.sim.run()
+    assert system.stats.get("fwd.ops") == 2
+
+
+def test_abc_broadcast_cheaper_than_mcn_broadcast():
+    # 16D-8C: 2 DIMMs per channel -> one broadcast-write per channel
+    abc = _system("abc", "16D-8C")
+    abc.idc.broadcast(0, 0, 4096)
+    abc.sim.run()
+    abc_time = abc.sim.now
+    mcn = _system("mcn", "16D-8C")
+    mcn.idc.broadcast(0, 0, 4096)
+    mcn.sim.run()
+    assert abc_time < mcn.sim.now
+
+
+def test_abc_broadcast_stores_on_every_dimm():
+    system = _system("abc", "8D-4C")
+    system.idc.broadcast(2, 0, 512)
+    system.sim.run()
+    for dimm in range(8):
+        if dimm != 2:
+            assert system.stats.get(f"dimm{dimm}.dram.write_bytes") == 512
+
+
+# -- Table I analytic model -----------------------------------------------------
+
+def test_peak_bandwidth_formulas():
+    config = SystemConfig.named("16D-8C")
+    model = peak_bandwidth(config)
+    beta = config.channel.bandwidth_gbps
+    assert model.cpu_forwarding == pytest.approx(8 * beta / 2)
+    assert model.intra_channel_broadcast == pytest.approx(16 * beta)
+    assert model.dedicated_bus == pytest.approx(beta)
+    assert model.dimm_link == pytest.approx(14 * 25.0)
+
+
+def test_dimm_link_peak_scales_with_links():
+    small = peak_bandwidth(SystemConfig.named("4D-2C"))
+    large = peak_bandwidth(SystemConfig.named("16D-8C"))
+    assert large.dimm_link > small.dimm_link
+    # AIM's dedicated bus does not scale
+    assert large.dedicated_bus == small.dedicated_bus

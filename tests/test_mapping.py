@@ -1,0 +1,178 @@
+"""Tests for distance-aware task mapping (profiling, MCMF, Algorithm 1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import MappingError
+from repro.mapping.mcmf import MinCostMaxFlow
+from repro.mapping.placement import (
+    cost_table,
+    distance_aware_placement,
+    distance_matrix,
+    placement_cost,
+    solve_placement,
+)
+from repro.mapping.profile import profile_traffic
+from repro.workloads.ops import Compute, Read, Write
+
+
+# -- min-cost max-flow ------------------------------------------------------------
+
+def test_mcmf_simple_path():
+    net = MinCostMaxFlow(3)
+    net.add_edge(0, 1, capacity=5, cost=1.0)
+    net.add_edge(1, 2, capacity=3, cost=2.0)
+    flow, cost = net.solve(0, 2)
+    assert flow == 3
+    assert cost == pytest.approx(9.0)
+
+
+def test_mcmf_prefers_cheaper_route():
+    net = MinCostMaxFlow(4)
+    cheap = net.add_edge(0, 1, 1, 1.0)
+    net.add_edge(1, 3, 1, 1.0)
+    expensive = net.add_edge(0, 2, 1, 10.0)
+    net.add_edge(2, 3, 1, 10.0)
+    flow, cost = net.solve(0, 3)
+    assert flow == 2
+    assert cost == pytest.approx(22.0)
+    assert net.flow_on(cheap) == 1
+    assert net.flow_on(expensive) == 1
+
+
+def test_mcmf_matches_networkx_on_random_bipartite():
+    rng = np.random.default_rng(3)
+    threads, dimms = 6, 3
+    costs = rng.integers(1, 20, size=(threads, dimms)).astype(float)
+    placement = solve_placement(costs, threads_per_dimm=2)
+    ours = placement_cost(placement, costs)
+
+    graph = nx.DiGraph()
+    for t in range(threads):
+        graph.add_edge("s", f"t{t}", capacity=1, weight=0)
+        for d in range(dimms):
+            graph.add_edge(f"t{t}", f"d{d}", capacity=1, weight=int(costs[t, d]))
+    for d in range(dimms):
+        graph.add_edge(f"d{d}", "k", capacity=2, weight=0)
+    flow_dict = nx.max_flow_min_cost(graph, "s", "k")
+    reference = sum(
+        costs[t, d] * flow_dict[f"t{t}"].get(f"d{d}", 0)
+        for t in range(threads)
+        for d in range(dimms)
+    )
+    assert ours == pytest.approx(reference)
+
+
+def test_mcmf_validates_inputs():
+    with pytest.raises(MappingError):
+        MinCostMaxFlow(0)
+    net = MinCostMaxFlow(2)
+    with pytest.raises(MappingError):
+        net.add_edge(0, 5, 1, 0.0)
+    with pytest.raises(MappingError):
+        net.solve(1, 1)
+
+
+# -- profiling ----------------------------------------------------------------------
+
+def test_profile_counts_read_write_bytes_per_dimm():
+    def factory():
+        return iter([
+            Compute(10),
+            Read(dimm=0, offset=0, nbytes=100),
+            Write(dimm=2, offset=0, nbytes=50),
+            Read(dimm=0, offset=64, nbytes=10),
+        ])
+
+    table = profile_traffic([factory], num_dimms=4)
+    assert table.shape == (1, 4)
+    assert table[0, 0] == 110
+    assert table[0, 2] == 50
+    assert table[0, 1] == table[0, 3] == 0
+
+
+def test_profile_truncation():
+    def factory():
+        return iter([Read(dimm=0, offset=0, nbytes=10)] * 100)
+
+    table = profile_traffic([factory], num_dimms=1, max_ops_per_thread=10)
+    assert table[0, 0] == 100
+
+
+def test_profile_rejects_unknown_dimm():
+    def factory():
+        return iter([Read(dimm=7, offset=0, nbytes=10)])
+
+    with pytest.raises(MappingError):
+        profile_traffic([factory], num_dimms=4)
+
+
+# -- Algorithm 1 --------------------------------------------------------------------
+
+def test_cost_table_formula():
+    traffic = np.array([[100.0, 0.0], [0.0, 100.0]])
+    distances = np.array([[0.0, 3.0], [3.0, 0.0]])
+    costs = cost_table(traffic, distances)
+    # placing thread 0 on dimm 0 is free; on dimm 1 costs 300
+    assert costs[0, 0] == 0.0
+    assert costs[0, 1] == 300.0
+
+
+def test_cost_table_shape_validation():
+    with pytest.raises(MappingError):
+        cost_table(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+def test_distance_matrix_symmetric_zero_diagonal():
+    config = SystemConfig.named("16D-8C")
+    matrix = distance_matrix(config)
+    assert np.allclose(matrix, matrix.T)
+    assert np.all(np.diag(matrix) == 0)
+    assert matrix[0, 8] > matrix[0, 7]  # inter-group farther than 7 hops
+
+
+def test_solve_placement_respects_capacity():
+    costs = np.zeros((8, 2))
+    placement = solve_placement(costs, threads_per_dimm=4)
+    assert sorted(placement).count(0) == 4
+    assert sorted(placement).count(1) == 4
+
+
+def test_solve_placement_infeasible_rejected():
+    with pytest.raises(MappingError):
+        solve_placement(np.zeros((9, 2)), threads_per_dimm=4)
+
+
+def test_placement_is_cost_optimal_vs_bruteforce():
+    import itertools
+
+    rng = np.random.default_rng(7)
+    costs = rng.integers(0, 10, size=(4, 2)).astype(float)
+    placement = solve_placement(costs, threads_per_dimm=2)
+    best = min(
+        sum(costs[t, p[t]] for t in range(4))
+        for p in itertools.product((0, 1), repeat=4)
+        if p.count(0) <= 2 and p.count(1) <= 2
+    )
+    assert placement_cost(placement, costs) == pytest.approx(best)
+
+
+def test_distance_aware_placement_co_locates_dominant_traffic():
+    config = SystemConfig.named("4D-2C")
+    traffic = np.zeros((4, 4))
+    for thread in range(4):
+        traffic[thread, 3 - thread] = 1000.0  # reversed affinity
+    placement = distance_aware_placement(traffic, config, threads_per_dimm=4)
+    assert placement == [3, 2, 1, 0]
+
+
+def test_end_to_end_mapping_reduces_cost_vs_natural():
+    config = SystemConfig.named("8D-4C")
+    rng = np.random.default_rng(1)
+    traffic = rng.integers(0, 1000, size=(32, 8)).astype(float)
+    costs = cost_table(traffic, distance_matrix(config))
+    optimized = distance_aware_placement(traffic, config)
+    natural = [t // 4 for t in range(32)]
+    assert placement_cost(optimized, costs) <= placement_cost(natural, costs)

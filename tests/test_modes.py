@@ -1,0 +1,67 @@
+"""Tests for the HA/NA coarse-grained execution flow (repro.nmp.modes)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import SimulationError
+from repro.nmp.modes import CACHE_FLUSH_PS, ExecutionFlow, Mode
+from repro.nmp.system import NMPSystem
+from repro.workloads.microbench import UniformRandom
+
+
+def _flow(name="4D-2C"):
+    return ExecutionFlow(NMPSystem(SystemConfig.named(name)))
+
+
+def test_starts_in_host_access_mode():
+    flow = _flow()
+    assert flow.mode is Mode.HOST_ACCESS
+    assert flow.offload_ps == 0
+
+
+def test_mode_transitions_enforced():
+    flow = _flow()
+    flow.enter_na()
+    assert flow.mode is Mode.NMP_ACCESS
+    with pytest.raises(SimulationError):
+        flow.enter_na()
+    flow.exit_na()
+    assert flow.mode is Mode.HOST_ACCESS
+    with pytest.raises(SimulationError):
+        flow.exit_na()
+
+
+def test_staging_costs_time_proportional_to_bytes():
+    small = _flow()
+    small.enter_na(input_bytes_per_dimm=4096)
+    big = _flow()
+    big.enter_na(input_bytes_per_dimm=1 << 20)
+    assert big.offload_ps > small.offload_ps
+
+
+def test_exit_includes_cache_flush():
+    flow = _flow()
+    flow.enter_na()
+    before = flow.offload_ps
+    flow.exit_na()
+    assert flow.offload_ps - before >= CACHE_FLUSH_PS
+
+
+def test_full_offload_runs_kernel():
+    flow = _flow("8D-4C")
+    workload = UniformRandom(ops_per_thread=30, seed=4)
+    result = flow.run_kernel(
+        workload.thread_factories(32, 8),
+        input_bytes_per_dimm=8192,
+        result_bytes_per_dimm=4096,
+        workload_name="uniform",
+    )
+    assert result.time_ps > 0
+    assert flow.offload_ps > 0
+    assert flow.mode is Mode.HOST_ACCESS
+
+
+def test_staging_occupies_channels():
+    flow = _flow()
+    flow.enter_na(input_bytes_per_dimm=1 << 16)
+    assert flow.system.stats.get("bus.data_bytes") == 4 * (1 << 16)

@@ -1,0 +1,121 @@
+"""Tests for the event-level packet network (repro.interconnect.network)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.interconnect.network import PacketNetwork
+from repro.interconnect.topology import Topology
+from repro.sim import Simulator, StatRegistry
+from repro.sim.time import ns
+
+
+def _network(name="half_ring", n=4, gbps=25.0, hop=ns(10), wire=ns(2)):
+    sim = Simulator()
+    stats = StatRegistry()
+    network = PacketNetwork(
+        sim, Topology(name, n), bandwidth_gbps=gbps,
+        hop_latency_ps=hop, wire_latency_ps=wire, stats=stats,
+    )
+    return sim, stats, network
+
+
+def test_send_latency_scales_with_hops():
+    sim, _, network = _network()
+    times = {}
+    for dst in (1, 3):
+        done = []
+        network.send(0, dst, 160).add_callback(lambda ev, d=dst: done.append(sim.now))
+        sim.run()
+        times[dst] = done[0]
+    # 3 hops strictly slower than 1 hop
+    assert times[3] > times[1]
+
+
+def test_send_single_hop_time_breakdown():
+    sim, _, network = _network()
+    done = []
+    network.send(0, 1, 250).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    # occupancy 10ns (250B at 25 B/ns) + hop 10ns + wire latency 2ns
+    assert done[0] == ns(10) + ns(10) + ns(2)
+
+
+def test_send_to_self_completes_immediately():
+    sim, _, network = _network()
+    done = []
+    network.send(2, 2, 64).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    assert done == [0]
+
+
+def test_concurrent_sends_on_disjoint_links_overlap():
+    sim, _, network = _network(n=4)
+    done = []
+    network.send(0, 1, 2500).add_callback(lambda ev: done.append(("a", sim.now)))
+    network.send(2, 3, 2500).add_callback(lambda ev: done.append(("b", sim.now)))
+    sim.run()
+    assert done[0][1] == done[1][1]  # fully parallel
+
+
+def test_sends_on_same_link_serialise():
+    sim, _, network = _network(n=2)
+    done = []
+    network.send(0, 1, 2500).add_callback(lambda ev: done.append(sim.now))
+    network.send(0, 1, 2500).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    assert done[1] - done[0] == ns(100)  # second waits for link occupancy
+
+
+def test_opposite_directions_are_full_duplex():
+    sim, _, network = _network(n=2)
+    done = []
+    network.send(0, 1, 2500).add_callback(lambda ev: done.append(sim.now))
+    network.send(1, 0, 2500).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    assert done[0] == done[1]
+
+
+def test_broadcast_reaches_all_and_fires_once():
+    sim, stats, network = _network(n=4)
+    done = []
+    network.broadcast(0, 160).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1
+    assert stats.get("dl.hops") == 3  # chain flood: 3 tree edges
+    assert stats.get("dl.broadcasts") == 1
+
+
+def test_broadcast_from_middle_is_faster_than_from_end():
+    times = {}
+    for root in (0, 1):
+        sim, _, network = _network(n=4)
+        done = []
+        network.broadcast(root, 1600).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        times[root] = done[0]
+    assert times[1] < times[0]
+
+
+def test_stream_occupies_all_path_links_concurrently():
+    sim, _, network = _network(n=4)
+    done = []
+    network.stream(0, 3, 25000).add_callback(lambda ev: done.append(sim.now))
+    sim.run()
+    # pipelined: ~1000ns of occupancy (not 3x), plus 3 hops + wire latency
+    assert done[0] < ns(1100) + 3 * ns(10) + ns(10)
+    for edge in [(0, 1), (1, 2), (2, 3)]:
+        assert network.link(*edge).busy_ps == ns(1000)
+
+
+def test_missing_link_rejected():
+    _, _, network = _network(n=4)
+    with pytest.raises(RoutingError):
+        network.link(0, 2)
+
+
+def test_hop_bytes_accounting():
+    sim, stats, network = _network(n=4)
+    network.send(0, 3, 100)
+    sim.run()
+    assert stats.get("dl.hop_bytes") == 300  # 100 bytes x 3 hops
+    assert network.total_busy_ps() == 3 * ns(4)

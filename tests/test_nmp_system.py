@@ -1,0 +1,165 @@
+"""Tests for NMP system assembly and kernel execution."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError, WorkloadError
+from repro.nmp.localmc import LocalMemoryController
+from repro.nmp.system import NMPSystem
+from repro.sim import Simulator, StatRegistry
+from repro.workloads.microbench import UniformRandom
+from repro.workloads.ops import Barrier, Compute, Flush, Read, Write
+
+
+def _simple_thread(ops):
+    def factory():
+        return iter(list(ops))
+    return factory
+
+
+# -- assembly -------------------------------------------------------------------
+
+def test_system_builds_all_components():
+    system = NMPSystem(SystemConfig.named("8D-4C"))
+    assert len(system.dimms) == 8
+    assert len(system.channels) == 4
+    assert system.idc.name == "dimm_link"
+    assert system.polling.name == "proxy"
+    assert all(len(d.cores) == 4 for d in system.dimms)
+
+
+def test_default_polling_per_mechanism():
+    assert NMPSystem(SystemConfig.named("4D-2C"), idc="mcn").polling.name == "baseline"
+    assert NMPSystem(SystemConfig.named("4D-2C"), idc="dimm_link").polling.name == "proxy"
+
+
+def test_proxy_polling_requires_dimm_link():
+    with pytest.raises(ConfigError):
+        NMPSystem(SystemConfig.named("4D-2C"), idc="mcn", polling="proxy")
+
+
+# -- placement -------------------------------------------------------------------
+
+def test_natural_placement_blocks():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    assert system.natural_placement(16) == [i // 4 for i in range(16)]
+
+
+def test_placement_capacity_enforced():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    with pytest.raises(WorkloadError):
+        system.run([_simple_thread([Compute(1)])] * 5, placement=[0] * 5)
+
+
+def test_placement_unknown_dimm_rejected():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    with pytest.raises(WorkloadError):
+        system.run([_simple_thread([Compute(1)])], placement=[9])
+
+
+def test_placement_length_mismatch_rejected():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    with pytest.raises(WorkloadError):
+        system.run([_simple_thread([Compute(1)])] * 2, placement=[0])
+
+
+def test_empty_kernel_rejected():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    with pytest.raises(WorkloadError):
+        system.run([])
+
+
+# -- execution ---------------------------------------------------------------------
+
+def test_run_returns_per_thread_ends():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    result = system.run(
+        [
+            _simple_thread([Compute(1000)]),
+            _simple_thread([Compute(2000)]),
+        ]
+    )
+    assert len(result.thread_end_ps) == 2
+    assert result.time_ps == max(result.thread_end_ps)
+    assert result.thread_end_ps[1] > result.thread_end_ps[0]
+
+
+def test_local_read_does_not_touch_idc():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    system.run([_simple_thread([Read(dimm=0, offset=0, nbytes=4096), Flush()])])
+    assert system.stats.sum_suffix("idc.local_bytes") == 4096
+    assert system.stats.sum_suffix("idc.intra_group_bytes") == 0
+
+
+def test_remote_read_goes_through_idc():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    system.run(
+        [_simple_thread([Read(dimm=2, offset=0, nbytes=4096), Flush()])],
+        placement=[0],
+    )
+    assert system.stats.sum_suffix("idc.intra_group_bytes") == 4096
+
+
+def test_write_and_barrier_flow():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    ops = [Write(dimm=1, offset=0, nbytes=256), Barrier(), Compute(100)]
+    result = system.run([_simple_thread(list(ops)) for _ in range(8)])
+    assert result.counter("sync.barriers") == 1
+    assert result.counter("core.barriers") == 8
+
+
+def test_deterministic_replay():
+    def run_once():
+        system = NMPSystem(SystemConfig.named("8D-4C"))
+        workload = UniformRandom(ops_per_thread=60, seed=11)
+        return system.run(workload.thread_factories(32, 8)).time_ps
+
+    assert run_once() == run_once()
+
+
+def test_stall_accounting_sums_to_thread_time():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    workload = UniformRandom(ops_per_thread=50, seed=3)
+    result = system.run(workload.thread_factories(16, 4))
+    total = result.stats.sum_suffix("core.thread_ps")
+    parts = (
+        result.stats.sum_suffix("core.busy_ps")
+        + result.stats.sum_suffix("core.stall_remote_ps")
+        + result.stats.sum_suffix("core.stall_local_ps")
+        + result.stats.sum_suffix("core.stall_sync_ps")
+    )
+    # parts cover the overwhelming majority of thread time (the remainder
+    # is issue latency between ops)
+    assert parts <= total
+    assert parts >= 0.7 * total
+
+
+def test_run_result_metrics():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    workload = UniformRandom(ops_per_thread=50, remote_fraction=0.5, seed=3)
+    result = system.run(workload.thread_factories(16, 4))
+    assert 0 <= result.nonoverlapped_idc_ratio <= 1
+    breakdown = result.traffic_breakdown
+    assert breakdown["local"] > 0
+    assert 0 <= result.forwarded_fraction <= 1
+    assert result.mean_bus_occupancy >= 0
+
+
+# -- local MC ----------------------------------------------------------------------
+
+def test_local_mc_requires_idc_for_remote():
+    sim, stats = Simulator(), StatRegistry()
+    from repro.dram.module import DRAMModule
+    from repro.dram.timing import DDR4_2400_LRDIMM
+
+    dram = DRAMModule(sim, DDR4_2400_LRDIMM, 2, stats)
+    mc = LocalMemoryController(sim, 0, dram, stats)
+    mc.submit(1, 0, 64, False)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_local_mc_transaction_buffer_bounded():
+    system = NMPSystem(SystemConfig.named("4D-2C"))
+    mc = system.dimms[0].mc
+    assert mc.buffer.capacity == 64

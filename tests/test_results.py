@@ -1,0 +1,83 @@
+"""Tests for RunResult derived metrics (repro.nmp.results)."""
+
+import pytest
+
+from repro.nmp.results import RunResult
+from repro.sim import StatRegistry
+from repro.sim.time import us
+
+
+def _result(counters=None, time_ps=us(10), profile_ps=0, bus=None):
+    stats = StatRegistry()
+    for name, value in (counters or {}).items():
+        stats.add(name, value)
+    return RunResult(
+        system_name="16D-8C",
+        mechanism="dimm_link",
+        workload="w",
+        time_ps=time_ps,
+        thread_end_ps=[time_ps],
+        stats=stats,
+        bus_occupancy=bus or [],
+        profile_ps=profile_ps,
+    )
+
+
+def test_total_includes_profiling():
+    result = _result(time_ps=us(10), profile_ps=us(1))
+    assert result.total_ps == us(11)
+    assert result.time_us == pytest.approx(10.0)
+    assert result.time_ms == pytest.approx(0.01)
+
+
+def test_speedup_over_uses_totals():
+    slow = _result(time_ps=us(20))
+    fast = _result(time_ps=us(5), profile_ps=us(5))
+    assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+
+def test_nonoverlapped_ratio():
+    result = _result(
+        {
+            "dimm0.core.thread_ps": 100.0,
+            "dimm0.core.stall_remote_ps": 30.0,
+            "dimm0.core.stall_sync_ps": 20.0,
+        }
+    )
+    assert result.nonoverlapped_idc_ratio == pytest.approx(0.5)
+    assert _result().nonoverlapped_idc_ratio == 0.0
+
+
+def test_traffic_breakdown_and_forwarded_fraction():
+    result = _result(
+        {
+            "dimm0.idc.local_bytes": 700.0,
+            "idc.intra_group_bytes": 200.0,
+            "idc.forwarded_bytes": 100.0,
+        }
+    )
+    assert result.traffic_breakdown == {
+        "local": 700.0,
+        "intra_group": 200.0,
+        "forwarded": 100.0,
+    }
+    assert result.forwarded_fraction == pytest.approx(100 / 300)
+
+
+def test_forwarded_fraction_no_idc():
+    assert _result({"dimm0.idc.local_bytes": 10.0}).forwarded_fraction == 0.0
+
+
+def test_dedicated_bus_counts_as_non_host_idc():
+    result = _result({"idc.dedicated_bus_bytes": 400.0, "idc.forwarded_bytes": 100.0})
+    assert result.forwarded_fraction == pytest.approx(0.2)
+
+
+def test_mean_bus_occupancy():
+    assert _result(bus=[0.1, 0.3]).mean_bus_occupancy == pytest.approx(0.2)
+    assert _result().mean_bus_occupancy == 0.0
+
+
+def test_counter_aggregates_scopes():
+    result = _result({"dimm0.x.y": 1.0, "dimm1.x.y": 2.0, "x.y": 4.0})
+    assert result.counter("x.y") == 7.0

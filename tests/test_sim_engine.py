@@ -1,0 +1,177 @@
+"""Tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, Simulator
+from repro.sim.time import ns
+
+
+def test_schedule_order_is_time_then_fifo():
+    sim = Simulator()
+    log = []
+    sim.schedule(10, lambda _: log.append("b"))
+    sim.schedule(5, lambda _: log.append("a"))
+    sim.schedule(10, lambda _: log.append("c"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(ns(7), lambda _: seen.append(sim.now))
+    sim.run()
+    assert seen == [ns(7)]
+    assert sim.now == ns(7)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda _: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda _: fired.append(True))
+    assert sim.run(until=50) == 50
+    assert not fired
+    sim.run()
+    assert fired
+
+
+def test_process_sleep_and_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield 25
+        yield 25
+        return "done"
+
+    assert sim.run_process(proc()) == "done"
+    assert sim.now == 50
+
+
+def test_process_waits_on_event_and_receives_value():
+    sim = Simulator()
+    gate = sim.event("gate")
+    sim.schedule(30, lambda _: gate.succeed(42))
+
+    def proc():
+        value = yield gate
+        return value
+
+    assert sim.run_process(proc()) == 42
+    assert sim.now == 30
+
+
+def test_process_waits_on_other_process():
+    sim = Simulator()
+
+    def child():
+        yield 10
+        return "child-value"
+
+    def parent():
+        value = yield sim.process(child())
+        return value
+
+    assert sim.run_process(parent()) == "child-value"
+
+
+def test_allof_waits_for_every_child():
+    sim = Simulator()
+
+    def child(delay, tag):
+        yield delay
+        return tag
+
+    def parent():
+        procs = [sim.process(child(d, i)) for i, d in enumerate([30, 10, 20])]
+        results = yield AllOf(procs)
+        return results
+
+    assert sim.run_process(parent()) == [0, 1, 2]
+    assert sim.now == 30
+
+
+def test_allof_empty_resumes_immediately():
+    sim = Simulator()
+
+    def parent():
+        results = yield AllOf([])
+        return results
+
+    assert sim.run_process(parent()) == []
+
+
+def test_event_double_succeed_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_yield_on_already_triggered_event():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("early")
+
+    def proc():
+        value = yield event
+        return value
+
+    assert sim.run_process(proc()) == "early"
+
+
+def test_timeout_event_value():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(15, value="tick")
+        return value
+
+    assert sim.run_process(proc()) == "tick"
+    assert sim.now == 15
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm(_):
+        sim.schedule(1, rearm)
+
+    sim.schedule(1, rearm)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_deadlocked_process_detected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.event("never")
+
+    proc_handle = sim.process(proc())
+    sim.run()
+    assert not proc_handle.finished
+    with pytest.raises(SimulationError):
+        sim.run_process(iter([sim.event("never2")].__iter__()) if False else _stuck(sim))
+
+
+def _stuck(sim):
+    yield sim.event("never3")
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not-a-waitable"
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,82 @@
+"""Tests for statistics collection (repro.sim.stats)."""
+
+from repro.sim import Histogram, StatRegistry
+
+
+def test_counter_add_and_get():
+    stats = StatRegistry()
+    stats.add("reads")
+    stats.add("reads", 4)
+    assert stats.get("reads") == 5
+    assert stats.get("missing") == 0
+    assert stats.get("missing", 7) == 7
+
+
+def test_set_and_max():
+    stats = StatRegistry()
+    stats.set("x", 3)
+    stats.max("x", 10)
+    stats.max("x", 5)
+    assert stats.get("x") == 10
+
+
+def test_scope_prefixes_writes_into_parent():
+    stats = StatRegistry()
+    dimm = stats.scope("dimm0")
+    dimm.add("dram.activates", 2)
+    assert stats.get("dimm0.dram.activates") == 2
+    assert dimm.get("dram.activates") == 2
+
+
+def test_nested_scopes():
+    stats = StatRegistry()
+    inner = stats.scope("sys").scope("dimm3")
+    inner.add("bytes", 64)
+    assert stats.get("sys.dimm3.bytes") == 64
+
+
+def test_counters_filter_and_sum():
+    stats = StatRegistry()
+    stats.add("a.x", 1)
+    stats.add("a.y", 2)
+    stats.add("b.z", 4)
+    assert stats.sum("a.") == 3
+    assert set(stats.counters("a.")) == {"a.x", "a.y"}
+
+
+def test_histogram_basic_moments():
+    hist = Histogram("lat")
+    for value in [1, 2, 3, 4]:
+        hist.record(value)
+    assert hist.count == 4
+    assert hist.mean == 2.5
+    assert hist.min == 1
+    assert hist.max == 4
+
+
+def test_histogram_log2_buckets():
+    hist = Histogram()
+    hist.record(1)    # bucket 0
+    hist.record(2)    # bucket 1
+    hist.record(3)    # bucket 1
+    hist.record(1024)  # bucket 10
+    buckets = dict(hist.buckets())
+    assert buckets[0] == 1
+    assert buckets[1] == 2
+    assert buckets[10] == 1
+
+
+def test_histogram_via_registry_is_cached():
+    stats = StatRegistry()
+    h1 = stats.histogram("lat")
+    h2 = stats.histogram("lat")
+    assert h1 is h2
+    h1.record(5)
+    assert stats.histogram("lat").count == 1
+
+
+def test_registry_iteration_sorted():
+    stats = StatRegistry()
+    stats.add("b", 1)
+    stats.add("a", 1)
+    assert [name for name, _ in stats] == ["a", "b"]

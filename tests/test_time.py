@@ -1,0 +1,55 @@
+"""Tests for time/bandwidth unit helpers (repro.sim.time)."""
+
+import pytest
+
+from repro.sim import time as t
+
+
+def test_unit_conversions_round_trip():
+    assert t.ns(1) == 1_000
+    assert t.us(1) == 1_000_000
+    assert t.ms(1) == 1_000_000_000
+    assert t.to_ns(t.ns(7.5)) == pytest.approx(7.5)
+    assert t.to_us(t.us(3)) == 3
+    assert t.to_ms(t.ms(2)) == 2
+    assert t.to_s(t.S) == 1
+
+
+def test_cycles_at_frequency():
+    assert t.cycles(10, 1.0) == t.ns(10)
+    assert t.cycles(10, 2.5) == t.ns(4)
+    with pytest.raises(ValueError):
+        t.cycles(10, 0)
+
+
+def test_gbps_identity_and_validation():
+    assert t.gbps(25.0) == 25.0
+    with pytest.raises(ValueError):
+        t.gbps(0)
+
+
+def test_transfer_ps_basic():
+    # 100 bytes at 10 B/ns = 10 ns
+    assert t.transfer_ps(100, 10.0) == t.ns(10)
+    assert t.transfer_ps(0, 10.0) == 0
+    # never zero for a non-empty transfer
+    assert t.transfer_ps(1, 1e9) == 1
+    with pytest.raises(ValueError):
+        t.transfer_ps(-1, 10.0)
+    with pytest.raises(ValueError):
+        t.transfer_ps(10, 0)
+
+
+def test_bandwidth_gbps_inverse_of_transfer():
+    duration = t.transfer_ps(1 << 20, 25.0)
+    assert t.bandwidth_gbps(1 << 20, duration) == pytest.approx(25.0, rel=0.01)
+    with pytest.raises(ValueError):
+        t.bandwidth_gbps(100, 0)
+
+
+def test_fmt_picks_sensible_units():
+    assert t.fmt(500) == "500ps"
+    assert t.fmt(t.ns(5)) == "5.000ns"
+    assert t.fmt(t.us(5)) == "5.000us"
+    assert t.fmt(t.ms(5)) == "5.000ms"
+    assert t.fmt(t.S) == "1.000s"

@@ -1,0 +1,65 @@
+"""Tests for op-trace record/replay (repro.workloads.trace)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.nmp.system import NMPSystem
+from repro.workloads.microbench import SyncInterval, UniformRandom
+from repro.workloads.trace import TraceWorkload, record_trace
+
+
+def test_round_trip_preserves_streams(tmp_path):
+    path = tmp_path / "uniform.trace"
+    workload = UniformRandom(ops_per_thread=25, seed=6)
+    written = record_trace(workload, path, num_threads=8, num_dimms=4)
+    assert written > 0
+    replay = TraceWorkload(path)
+    original = [list(f()) for f in workload.thread_factories(8, 4)]
+    replayed = [list(f()) for f in replay.thread_factories(8, 4)]
+    assert replayed == original
+    assert replay.total_ops == written
+
+
+def test_trace_includes_barriers_and_broadcasts(tmp_path):
+    path = tmp_path / "sync.trace"
+    record_trace(SyncInterval(interval_instructions=50, barriers=2), path, 8, 4)
+    replay = TraceWorkload(path)
+    from repro.workloads.ops import Barrier
+
+    stream = list(replay.thread_factories(8, 4)[0]())
+    assert sum(isinstance(op, Barrier) for op in stream) == 2
+
+
+def test_replay_shape_mismatch_rejected(tmp_path):
+    path = tmp_path / "t.trace"
+    record_trace(UniformRandom(ops_per_thread=5), path, 8, 4)
+    replay = TraceWorkload(path)
+    with pytest.raises(WorkloadError):
+        replay.thread_factories(16, 4)
+    with pytest.raises(WorkloadError):
+        replay.thread_factories(8, 8)
+
+
+def test_missing_or_invalid_file_rejected(tmp_path):
+    with pytest.raises(WorkloadError):
+        TraceWorkload(tmp_path / "missing.trace")
+    bad = tmp_path / "bad.trace"
+    bad.write_text('{"magic": "something-else"}\n')
+    with pytest.raises(WorkloadError):
+        TraceWorkload(bad)
+
+
+def test_replayed_run_matches_live_run(tmp_path):
+    """A trace replay produces the identical simulation outcome."""
+    path = tmp_path / "repro.trace"
+    workload = UniformRandom(ops_per_thread=40, remote_fraction=0.4, seed=13)
+    record_trace(workload, path, 16, 4)
+
+    live = NMPSystem(SystemConfig.named("4D-2C")).run(
+        workload.thread_factories(16, 4)
+    )
+    replayed = NMPSystem(SystemConfig.named("4D-2C")).run(
+        TraceWorkload(path).thread_factories(16, 4)
+    )
+    assert replayed.time_ps == live.time_ps

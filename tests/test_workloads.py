@@ -1,0 +1,169 @@
+"""Tests for all Table IV workloads: structure invariants of op streams."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    BFS,
+    SSSP,
+    SSSPBC,
+    BulkTransfer,
+    Hotspot,
+    KMeans,
+    NeedlemanWunsch,
+    PageRank,
+    PageRankBC,
+    SpMV,
+    SpMVBC,
+    SyncInterval,
+    TSPow,
+    UniformRandom,
+)
+from repro.workloads.ops import Barrier, Broadcast, Compute, Flush, Read, Write
+
+ALL_WORKLOADS = [
+    BFS(scale=8),
+    SSSP(scale=8, rounds=2),
+    SSSPBC(scale=8, rounds=2),
+    PageRank(scale=8, iterations=2),
+    PageRankBC(scale=8, iterations=2),
+    SpMV(scale=8, iterations=1),
+    SpMVBC(scale=8, iterations=1),
+    Hotspot(rows=64, cols=64, iterations=2),
+    KMeans(points=2048, iterations=2),
+    NeedlemanWunsch(sequence_length=512, block=128),
+    TSPow(samples_per_thread=1024, chunks=4),
+    SyncInterval(interval_instructions=100, barriers=3),
+    UniformRandom(ops_per_thread=20),
+]
+
+VALID_OPS = (Compute, Read, Write, Broadcast, Barrier, Flush)
+
+
+def _materialise(workload, threads=16, dimms=4):
+    return [list(f()) for f in workload.thread_factories(threads, dimms)]
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_ops_are_well_formed(workload):
+    streams = _materialise(workload)
+    assert len(streams) == 16
+    for stream in streams:
+        assert stream, f"{workload.name}: empty thread"
+        for op in stream:
+            assert isinstance(op, VALID_OPS)
+            if isinstance(op, (Read, Write)):
+                assert 0 <= op.dimm < 4
+                assert op.nbytes > 0
+                assert op.offset >= 0
+            if isinstance(op, Compute):
+                assert op.cycles >= 0
+            if isinstance(op, Broadcast):
+                assert op.nbytes > 0
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_barrier_counts_equal_across_threads(workload):
+    """Barriers are global: every thread must hit the same number or the
+    kernel deadlocks."""
+    streams = _materialise(workload)
+    counts = {sum(isinstance(op, Barrier) for op in stream) for stream in streams}
+    assert len(counts) == 1
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_factories_are_reinvocable_and_deterministic(workload):
+    first = _materialise(workload)
+    second = _materialise(workload)
+    assert first == second
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_total_bytes_positive(workload):
+    streams = _materialise(workload)
+    total = sum(
+        op.nbytes
+        for stream in streams
+        for op in stream
+        if isinstance(op, (Read, Write, Broadcast))
+    )
+    assert total > 0
+
+
+def test_graph_kernels_emit_local_and_remote_traffic():
+    workload = PageRank(scale=9, iterations=1)
+    streams = _materialise(workload, threads=16, dimms=4)
+    local = remote = 0
+    # thread 0's home is dimm 0 (block-major layout)
+    for op in streams[0]:
+        if isinstance(op, (Read, Write)):
+            if op.dimm == 0:
+                local += op.nbytes
+            else:
+                remote += op.nbytes
+    assert local > remote > 0
+
+
+def test_byte_scale_multiplies_traffic():
+    small = PageRank(scale=8, iterations=1, byte_scale=1)
+    big = PageRank(scale=8, iterations=1, byte_scale=4)
+
+    def total(workload):
+        return sum(
+            op.nbytes
+            for stream in _materialise(workload)
+            for op in stream
+            if isinstance(op, (Read, Write))
+        )
+
+    ratio = total(big) / total(small)
+    assert 3.5 < ratio < 4.5
+
+
+def test_hotspot_halo_targets_adjacent_strips():
+    workload = Hotspot(rows=64, cols=64, iterations=1)
+    streams = _materialise(workload, threads=16, dimms=4)
+    # middle thread reads only from its own and adjacent strips' DIMMs
+    targets = {op.dimm for op in streams[8] if isinstance(op, Read)}
+    assert targets <= {1, 2, 3}
+
+
+def test_nw_wavefront_limits_parallelism():
+    workload = NeedlemanWunsch(sequence_length=512, block=128)  # 4x4 blocks
+    streams = _materialise(workload, threads=4, dimms=4)
+    barriers = sum(isinstance(op, Barrier) for op in streams[0])
+    assert barriers == 2 * 4 - 1  # one per anti-diagonal
+
+
+def test_kmeans_reduces_to_single_dimm_and_broadcasts():
+    workload = KMeans(points=2048, iterations=1)
+    streams = _materialise(workload, threads=8, dimms=4)
+    # only thread 0 broadcasts the reduced centroids
+    broadcasters = [
+        i for i, s in enumerate(streams) if any(isinstance(op, Broadcast) for op in s)
+    ]
+    assert broadcasters == [0]
+
+
+def test_bulk_transfer_validation():
+    with pytest.raises(WorkloadError):
+        BulkTransfer(total_bytes=0, chunk_bytes=64)
+    with pytest.raises(WorkloadError):
+        BulkTransfer(total_bytes=64, chunk_bytes=64).thread_factories(2, 4)
+    with pytest.raises(WorkloadError):
+        BulkTransfer(64, 64, src_dimm=0, dst_dimm=9).thread_factories(1, 4)
+
+
+def test_uniform_random_remote_fraction_zero_is_all_local():
+    workload = UniformRandom(ops_per_thread=50, remote_fraction=0.0, seed=1)
+    streams = _materialise(workload)
+    for thread_id, stream in enumerate(streams):
+        home = min(thread_id // 4, 3)
+        for op in stream:
+            if isinstance(op, (Read, Write)):
+                assert op.dimm == home
+
+
+def test_nw_rejects_unaligned_block():
+    with pytest.raises(WorkloadError):
+        NeedlemanWunsch(sequence_length=1000, block=128)
