@@ -29,6 +29,8 @@ from repro.config import (
 from repro.energy import EnergyParams, energy_report
 from repro.errors import (
     ConfigError,
+    FaultError,
+    LinkFailure,
     MappingError,
     ProtocolError,
     ReproError,
@@ -42,6 +44,14 @@ from repro.experiments.common import (
     run_nmp,
     run_optimized,
     threads_for,
+)
+from repro.faults import (
+    BridgeFault,
+    DimmFault,
+    FaultSchedule,
+    LinkDegrade,
+    LinkDown,
+    LinkOutage,
 )
 from repro.host.cpu import HostCPUSystem
 from repro.idc import make_mechanism, mechanism_names
@@ -61,12 +71,20 @@ __all__ = [
     "EnergyParams",
     "energy_report",
     "ConfigError",
+    "FaultError",
+    "LinkFailure",
     "MappingError",
     "ProtocolError",
     "ReproError",
     "RoutingError",
     "SimulationError",
     "WorkloadError",
+    "BridgeFault",
+    "DimmFault",
+    "FaultSchedule",
+    "LinkDegrade",
+    "LinkDown",
+    "LinkOutage",
     "build_workload",
     "run_cpu",
     "run_nmp",

@@ -90,8 +90,15 @@ class LinkConfig:
     #: per-hop CRC-failure probability (failure-injection studies; the
     #: data-link layer retries, costing ``retry`` latency + re-occupancy).
     error_rate: float = 0.0
-    #: ACK-timeout penalty per retransmission.
+    #: ACK-timeout penalty per retransmission (also the exponential-
+    #: backoff base of the bounded retry loop).
     retry_penalty_ns: float = 500.0
+    #: retransmissions per hop before the DLL gives up with a
+    #: :class:`~repro.errors.LinkFailure` (escalated to host forwarding).
+    max_retries: int = 8
+    #: consecutive ACK timeouts before the watchdog declares a link dead
+    #: and flips it in the routing tables.
+    watchdog_threshold: int = 3
 
     def scaled(self, bandwidth_gbps: float) -> "LinkConfig":
         """A copy with a different link bandwidth (Fig. 16 sweeps)."""

@@ -12,6 +12,18 @@ Executes the hybrid-routing plans on the event simulator:
 
 Traffic is classified into ``idc.intra_group_bytes`` vs.
 ``idc.forwarded_bytes`` for Fig. 11's breakdown.
+
+Degraded-mode failover
+----------------------
+
+The hybrid-routing design makes the host path a *functional superset* of
+the bridge: any intra-group transfer can also travel through the memory
+channels.  Every intra-group operation therefore catches
+:class:`~repro.errors.LinkFailure` (raised by the packet network once its
+bounded retry/backoff loop gives up, or when no live route remains) and
+re-issues the whole operation through host CPU-forwarding.  The
+escalations are counted as ``dl.rerouted_to_host`` / ``dl.rerouted_bytes``
+so resilience experiments can see exactly how much traffic fell back.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ from __future__ import annotations
 from repro.core.bridge import DLBridge
 from repro.core.controller import DLController
 from repro.core.routing import distance
+from repro.errors import LinkFailure, RoutingError
 from repro.idc.base import IDCMechanism
 from repro.protocol.packet import FLIT_BYTES, wire_bytes_for_transfer
 from repro.sim.engine import AllOf, SimEvent
@@ -53,14 +66,29 @@ class DIMMLinkIDC(IDCMechanism):
         return self.bridge.send(src, dst, wire_bytes)
 
     def _register_at_proxy(self, src: int):
-        """Send the forwarding request to the group's polling proxy."""
+        """Send the forwarding request to the group's polling proxy.
+
+        If the bridge can no longer reach the proxy, the registration is
+        skipped: the host's polling loop still visits the DIMM's own
+        request register directly, just on the slower non-proxy cadence —
+        which the polling model already charges through ``notice``.
+        """
         polling = self._require_system().polling
         if not getattr(polling, "uses_proxy", False):
             return
         proxy = polling.proxy_of(src)
         if proxy != src:
-            yield self.bridge.send(src, proxy, CONTROL_WIRE_BYTES)
+            try:
+                yield self.bridge.send(src, proxy, CONTROL_WIRE_BYTES)
+            except LinkFailure:
+                self.stats.add("dl.proxy_unreachable")
+                return
         self.stats.add("idc.proxy_registrations")
+
+    def _count_reroute(self, nbytes: int, operations: int = 1) -> None:
+        """Account one degraded-mode escalation to host forwarding."""
+        self.stats.add("dl.rerouted_to_host", operations)
+        self.stats.add("dl.rerouted_bytes", nbytes)
 
     # -- IDCMechanism ---------------------------------------------------------------
 
@@ -80,24 +108,31 @@ class DIMMLinkIDC(IDCMechanism):
         return done
 
     def _intra_read(self, src, dst, offset, nbytes, done: SimEvent):
+        system = self._require_system()
         src_ctl, dst_ctl = self.controllers[src], self.controllers[dst]
         yield src_ctl.packetize_ps
         src_ctl.packetize(0)
-        yield self.bridge.send(src, dst, CONTROL_WIRE_BYTES)
-        yield dst_ctl.decode_ps
-        yield self._require_system().dimms[dst].mc.local_access(offset, nbytes, False)
-        yield dst_ctl.packetize_ps
-        wire = dst_ctl.packetize(nbytes)
-        yield self._dl_transfer(dst, src, wire)
-        yield src_ctl.decode_ps
-        src_ctl.receive(nbytes)
-        self.stats.add("idc.intra_group_bytes", nbytes)
+        try:
+            yield self.bridge.send(src, dst, CONTROL_WIRE_BYTES)
+            yield dst_ctl.decode_ps
+            yield system.dimms[dst].mc.local_access(offset, nbytes, False)
+            yield dst_ctl.packetize_ps
+            wire = dst_ctl.packetize(nbytes)
+            yield self._dl_transfer(dst, src, wire)
+            yield src_ctl.decode_ps
+            src_ctl.receive(nbytes)
+            self.stats.add("idc.intra_group_bytes", nbytes)
+        except LinkFailure:
+            # hybrid-routing failover: re-issue the whole read through the
+            # host (the request may have died at any stage; the forwarded
+            # retry is self-contained either way)
+            self._count_reroute(nbytes)
+            yield from self._forwarded_read(system, src, dst, offset, nbytes)
         done.succeed(nbytes)
 
-    def _inter_read(self, system, src, dst, offset, nbytes, done: SimEvent):
+    def _forwarded_read(self, system, src, dst, offset, nbytes):
+        """Host-forwarded read body (inter-group path and failover path)."""
         src_ctl = self.controllers[src]
-        yield src_ctl.packetize_ps
-        src_ctl.packetize(0)
         yield from self._register_at_proxy(src)
         yield system.forwarder.forward(src, dst, CONTROL_WIRE_BYTES)
         yield self.controllers[dst].decode_ps
@@ -108,6 +143,12 @@ class DIMMLinkIDC(IDCMechanism):
         yield src_ctl.decode_ps
         src_ctl.receive(nbytes)
         self.stats.add("idc.forwarded_bytes", nbytes)
+
+    def _inter_read(self, system, src, dst, offset, nbytes, done: SimEvent):
+        src_ctl = self.controllers[src]
+        yield src_ctl.packetize_ps
+        src_ctl.packetize(0)
+        yield from self._forwarded_read(system, src, dst, offset, nbytes)
         done.succeed(nbytes)
 
     def remote_write(self, src_dimm, dst_dimm, offset, nbytes) -> SimEvent:
@@ -126,26 +167,35 @@ class DIMMLinkIDC(IDCMechanism):
         return done
 
     def _intra_write(self, src, dst, offset, nbytes, done: SimEvent):
+        system = self._require_system()
         src_ctl, dst_ctl = self.controllers[src], self.controllers[dst]
         yield src_ctl.packetize_ps
         wire = src_ctl.packetize(nbytes)
-        yield self._dl_transfer(src, dst, wire)
-        yield dst_ctl.decode_ps
-        dst_ctl.receive(nbytes)
-        yield self._require_system().dimms[dst].mc.local_access(offset, nbytes, True)
-        self.stats.add("idc.intra_group_bytes", nbytes)
+        try:
+            yield self._dl_transfer(src, dst, wire)
+            yield dst_ctl.decode_ps
+            dst_ctl.receive(nbytes)
+            yield system.dimms[dst].mc.local_access(offset, nbytes, True)
+            self.stats.add("idc.intra_group_bytes", nbytes)
+        except LinkFailure:
+            self._count_reroute(nbytes)
+            yield from self._forwarded_write(system, src, dst, offset, nbytes, wire)
         done.succeed(nbytes)
 
-    def _inter_write(self, system, src, dst, offset, nbytes, done: SimEvent):
-        src_ctl = self.controllers[src]
-        yield src_ctl.packetize_ps
-        wire = src_ctl.packetize(nbytes)
+    def _forwarded_write(self, system, src, dst, offset, nbytes, wire):
+        """Host-forwarded write body (inter-group path and failover path)."""
         yield from self._register_at_proxy(src)
         yield system.forwarder.forward(src, dst, wire)
         yield self.controllers[dst].decode_ps
         self.controllers[dst].receive(nbytes)
         yield system.dimms[dst].mc.local_access(offset, nbytes, True)
         self.stats.add("idc.forwarded_bytes", nbytes)
+
+    def _inter_write(self, system, src, dst, offset, nbytes, done: SimEvent):
+        src_ctl = self.controllers[src]
+        yield src_ctl.packetize_ps
+        wire = src_ctl.packetize(nbytes)
+        yield from self._forwarded_write(system, src, dst, offset, nbytes, wire)
         done.succeed(nbytes)
 
     def broadcast(self, src_dimm, offset, nbytes) -> SimEvent:
@@ -157,19 +207,39 @@ class DIMMLinkIDC(IDCMechanism):
         return done
 
     def _flood_group(self, system, root, offset, nbytes):
-        """Flood the root's group, then receivers store the data locally."""
+        """Flood the root's group, then receivers store the data locally.
+
+        If the flood cannot reach every group member over the bridge (a
+        dead link severed the broadcast tree), the whole group delivery
+        falls back to per-peer host forwarding.
+        """
         wire = wire_bytes_for_transfer(nbytes)
-        yield self.bridge.broadcast(root, wire)
         group_index, _pos = self.bridge.locate(root)
+        peers = [d for d in system.config.groups[group_index] if d != root]
+        try:
+            yield self.bridge.broadcast(root, wire)
+        except (LinkFailure, RoutingError):
+            self._count_reroute(nbytes * len(peers), operations=len(peers))
+
+            def to_peer(peer, first):
+                yield system.forwarder.forward(
+                    root, peer, wire, notice_dimm=None if first else -1
+                )
+                self.stats.add("idc.forwarded_bytes", nbytes)
+                yield self.controllers[peer].decode_ps
+                yield system.dimms[peer].mc.local_access(offset, nbytes, True)
+
+            yield AllOf(
+                [
+                    self.sim.process(to_peer(peer, index == 0), name="dl.bc.fb")
+                    for index, peer in enumerate(peers)
+                ]
+            )
+            return
         writes = [
-            system.dimms[d].mc.local_access(offset, nbytes, True)
-            for d in system.config.groups[group_index]
-            if d != root
+            system.dimms[d].mc.local_access(offset, nbytes, True) for d in peers
         ]
-        self.stats.add(
-            "idc.intra_group_bytes",
-            nbytes * (len(system.config.groups[group_index]) - 1),
-        )
+        self.stats.add("idc.intra_group_bytes", nbytes * len(peers))
         yield AllOf(writes)
 
     def _broadcast(self, system, src, offset, nbytes, done: SimEvent):
@@ -209,19 +279,26 @@ class DIMMLinkIDC(IDCMechanism):
         system = self._require_system()
         done = self.sim.event(name="dl.msg")
 
+        def forwarded():
+            if not expected:
+                yield from self._register_at_proxy(src_dimm)
+            yield system.forwarder.forward(
+                src_dimm,
+                dst_dimm,
+                CONTROL_WIRE_BYTES,
+                notice_dimm=-1 if expected else None,
+            )
+
         def proc():
             yield self.controllers[src_dimm].packetize_ps
             if self.bridge.same_group(src_dimm, dst_dimm):
-                yield self.bridge.send(src_dimm, dst_dimm, CONTROL_WIRE_BYTES)
+                try:
+                    yield self.bridge.send(src_dimm, dst_dimm, CONTROL_WIRE_BYTES)
+                except LinkFailure:
+                    self._count_reroute(CONTROL_WIRE_BYTES)
+                    yield from forwarded()
             else:
-                if not expected:
-                    yield from self._register_at_proxy(src_dimm)
-                yield system.forwarder.forward(
-                    src_dimm,
-                    dst_dimm,
-                    CONTROL_WIRE_BYTES,
-                    notice_dimm=-1 if expected else None,
-                )
+                yield from forwarded()
             yield self.controllers[dst_dimm].decode_ps
             self.stats.add("idc.messages")
             done.succeed(nbytes)
@@ -231,3 +308,6 @@ class DIMMLinkIDC(IDCMechanism):
 
     def hop_distance(self, src_dimm: int, dst_dimm: int) -> float:
         return distance(self._require_system().config, src_dimm, dst_dimm)
+
+    def finalize_stats(self) -> None:
+        self.stats.set("dl.link_availability_min", self.bridge.finalize_stats())

@@ -31,3 +31,16 @@ class MappingError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was asked to run with invalid inputs."""
+
+
+class FaultError(ReproError):
+    """An injected-fault description was invalid or could not be applied."""
+
+
+class LinkFailure(FaultError):
+    """A DL link could not deliver a packet (dead link or retry exhaustion).
+
+    Raised by the interconnect when the bounded retry/backoff loop gives
+    up on a hop, or when no live route exists; the DIMM-Link IDC layer
+    catches it and fails over to host CPU-forwarding.
+    """

@@ -25,6 +25,7 @@ from repro.experiments import (
     fig17_topology,
     headline,
     mapping_ablation,
+    resilience,
     table1_bandwidth_model,
     table2_serdes,
 )
@@ -40,6 +41,7 @@ _SIZED: Dict[str, Callable[[str], None]] = {
     "fig17": fig17_topology.main,
     "headline": headline.main,
     "mapping": mapping_ablation.main,
+    "resilience": resilience.main,
 }
 
 _UNSIZED: Dict[str, Callable[[], None]] = {

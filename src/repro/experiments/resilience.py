@@ -1,0 +1,154 @@
+"""Resilience sweep — IDC bandwidth under injected DL-link failures.
+
+Kills a growing fraction of each DL group's bridge links mid-run (via a
+:class:`~repro.faults.FaultSchedule`) and measures the achieved inter-DIMM
+bandwidth of each IDC mechanism on a uniform-random remote-access kernel.
+
+Expected shape:
+
+* **DIMM-Link** degrades gracefully: bandwidth drops monotonically as
+  links die (surviving traffic reroutes over longer bridge paths, and
+  once the watchdog partitions the group the remainder escalates to host
+  CPU-forwarding), but never reaches zero — the hybrid-routing fallback
+  keeps every pair connected through the memory channels.
+* **CPU-forwarding (MCN), AIM, ABC-DIMM** are flat: they own no DL
+  bridge, so DL-link faults do not apply to them (the schedule installs
+  as a no-op).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.faults import FaultSchedule, LinkDown
+from repro.interconnect.topology import Topology
+from repro.nmp.results import RunResult
+from repro.nmp.system import NMPSystem
+from repro.sim.time import ns
+from repro.workloads.microbench import UniformRandom
+
+DEFAULT_FRACTIONS = (0.0, 0.34, 0.67, 1.0)
+MECHANISMS = ("mcn", "aim", "abc", "dimm_link")
+
+#: injection time: late enough that traffic is in flight (the watchdog
+#: has to *detect* the failures, and early packets see a healthy net),
+#: early enough that most of the kernel runs degraded.
+FAULT_TIME_PS = ns(300)
+
+_OPS = {"tiny": 20, "small": 60, "large": 200}
+
+
+def link_down_schedule(
+    config: SystemConfig, fraction: float, time_ps: int = FAULT_TIME_PS
+) -> FaultSchedule:
+    """Kill the first ``round(fraction * edges)`` links of every group."""
+    faults = []
+    for group in config.groups:
+        topology = Topology(config.topology, len(group))
+        count = round(fraction * len(topology.edges))
+        for a, b in topology.edges[:count]:
+            faults.append(
+                LinkDown(time_ps=time_ps, dimm_a=group[a], dimm_b=group[b])
+            )
+    return FaultSchedule(faults)
+
+
+def _run(
+    config: SystemConfig,
+    workload: UniformRandom,
+    mechanism: str,
+    faults: Optional[FaultSchedule],
+) -> RunResult:
+    system = NMPSystem(config, idc=mechanism, faults=faults)
+    factories = workload.thread_factories(
+        config.num_dimms * config.nmp.cores_per_dimm, config.num_dimms
+    )
+    return system.run(factories, workload_name=workload.name)
+
+
+def _idc_bytes(result: RunResult) -> float:
+    """Bytes that crossed DIMM boundaries, whatever media carried them."""
+    return (
+        result.counter("idc.intra_group_bytes")
+        + result.counter("idc.dedicated_bus_bytes")
+        + result.counter("idc.channel_bc_bytes")
+        + result.counter("idc.forwarded_bytes")
+    )
+
+
+def run(
+    size: str = "small",
+    config_name: str = "8D-4C",
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> List[Dict[str, object]]:
+    """One row per (mechanism, failed-link fraction)."""
+    workload = UniformRandom(
+        ops_per_thread=_OPS.get(size, 60),
+        remote_fraction=0.6,
+        write_fraction=0.3,
+        nbytes=512,
+        seed=11,
+    )
+    rows = []
+    for mechanism in mechanisms:
+        for fraction in fractions:
+            config = SystemConfig.named(config_name)
+            schedule = link_down_schedule(config, fraction)
+            result = _run(config, workload, mechanism, schedule)
+            gbps = _idc_bytes(result) / result.time_ps * 1000.0  # B/ps -> GB/s
+            rows.append(
+                {
+                    "mechanism": mechanism,
+                    "fail_fraction": fraction,
+                    "links_down": result.counter("fault.links_down"),
+                    "idc_gbps": gbps,
+                    "rerouted": result.counter("dl.rerouted_to_host"),
+                    "availability": result.counter("dl.link_availability_min")
+                    if mechanism == "dimm_link"
+                    else 1.0,
+                }
+            )
+    return rows
+
+
+def main(size: str = "small") -> None:
+    """Print the resilience sweep."""
+    rows = run(size=size)
+    print("Resilience: achieved IDC bandwidth vs injected link-failure rate")
+    print(
+        format_table(
+            [
+                "mechanism",
+                "fail frac",
+                "links down",
+                "IDC GB/s",
+                "rerouted ops",
+                "min avail",
+            ],
+            [
+                (
+                    r["mechanism"],
+                    r["fail_fraction"],
+                    int(r["links_down"]),
+                    r["idc_gbps"],
+                    int(r["rerouted"]),
+                    r["availability"],
+                )
+                for r in rows
+            ],
+            precision=3,
+        )
+    )
+    dl = [r for r in rows if r["mechanism"] == "dimm_link"]
+    print(
+        "\nDIMM-Link bandwidth retained at worst injection: "
+        f"{dl[-1]['idc_gbps'] / dl[0]['idc_gbps']:.0%} "
+        "(host-forwarding failover keeps it nonzero)"
+    )
+
+
+if __name__ == "__main__":
+    main()

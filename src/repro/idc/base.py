@@ -83,3 +83,10 @@ class IDCMechanism(abc.ABC):
         Mechanisms without a locality notion return a flat metric.
         """
         return 0.0 if src_dimm == dst_dimm else 1.0
+
+    def finalize_stats(self) -> None:
+        """Flush end-of-run statistics (called once after the event loop).
+
+        Mechanisms with degradable media (DIMM-Link's bridge links) record
+        per-link availability here; others have nothing to flush.
+        """

@@ -10,7 +10,7 @@ tie-break) and BFS broadcast trees.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.errors import ConfigError, RoutingError
 
@@ -27,7 +27,16 @@ def _mesh_dims(n: int) -> Tuple[int, int]:
 
 
 def build_edges(name: str, n: int) -> List[Tuple[int, int]]:
-    """Undirected edge list for a named topology over ``n`` nodes."""
+    """Undirected edge list for a named topology over ``n`` nodes.
+
+    Degenerate sizes fall back gracefully rather than erroring:
+
+    * a ``ring`` with ``n < 3`` degrades to a chain (a 2-node "ring" would
+      need a redundant parallel link; the bridge has one),
+    * a ``torus`` drops the wrap-around edge of any dimension of width
+      ``<= 2`` (the wrap would duplicate an existing mesh edge), so e.g. a
+      2x2 torus has exactly the 2x2 mesh's edges.
+    """
     if n <= 0:
         raise ConfigError(f"topology needs at least one node, got {n}")
     if name == "half_ring":
@@ -35,7 +44,8 @@ def build_edges(name: str, n: int) -> List[Tuple[int, int]]:
     if name == "ring":
         if n < 3:
             return [(i, i + 1) for i in range(n - 1)]
-        return [(i, (i + 1) % n) for i in range(n)]
+        # wrap edge kept canonical (low, high) like every other edge
+        return [(i, i + 1) for i in range(n - 1)] + [(0, n - 1)]
     if name in ("mesh", "torus"):
         rows, cols = _mesh_dims(n)
         edges = []
@@ -55,22 +65,84 @@ def build_edges(name: str, n: int) -> List[Tuple[int, int]]:
 
 
 class Topology:
-    """A routed topology over ``n`` group-local node positions."""
+    """A routed topology over ``n`` group-local node positions.
+
+    ``edges`` is the nominal (as-built) wiring.  Each edge also carries a
+    dynamic up/down state: :meth:`set_link_state` flips a link and
+    recomputes every routing table over the surviving edges, so routing
+    adapts to failures (and repairs) at simulation time.
+    """
 
     def __init__(self, name: str, n: int) -> None:
         self.name = name
         self.n = n
         self.edges = build_edges(name, n)
-        self._adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
-        for a, b in self.edges:
+        self._down: Set[Tuple[int, int]] = set()
+        self.route_recomputes = 0
+        self._rebuild_routes()
+
+    def _rebuild_routes(self) -> None:
+        """Recompute adjacency + routing tables over the live edges."""
+        self._adjacency: Dict[int, List[int]] = {i: [] for i in range(self.n)}
+        for a, b in self.live_edges:
             self._adjacency[a].append(b)
             self._adjacency[b].append(a)
         for neighbors in self._adjacency.values():
             neighbors.sort()
         # routing table: _next_hop[src][dst] -> neighbor on a shortest path
         self._next_hop: List[List[int]] = [
-            self._bfs_next_hops(src) for src in range(n)
+            self._bfs_next_hops(src) for src in range(self.n)
         ]
+
+    @property
+    def live_edges(self) -> List[Tuple[int, int]]:
+        """The nominal edges currently marked up."""
+        return [e for e in self.edges if e not in self._down]
+
+    def edge_key(self, a: int, b: int) -> Tuple[int, int]:
+        """Canonical (sorted) key of an existing nominal edge."""
+        self._check(a)
+        self._check(b)
+        key = (a, b) if a < b else (b, a)
+        if key not in self._edge_set():
+            raise RoutingError(f"{self.name}: no edge {a}<->{b}")
+        return key
+
+    def _edge_set(self) -> Set[Tuple[int, int]]:
+        return set(self.edges)
+
+    def link_up(self, a: int, b: int) -> bool:
+        """Whether the edge ``a<->b`` is currently marked up."""
+        return self.edge_key(a, b) not in self._down
+
+    def set_link_state(self, a: int, b: int, up: bool) -> bool:
+        """Mark the edge ``a<->b`` up or down; recompute routes on change.
+
+        Returns True when the state actually changed.
+        """
+        key = self.edge_key(a, b)
+        if up:
+            if key not in self._down:
+                return False
+            self._down.discard(key)
+        else:
+            if key in self._down:
+                return False
+            self._down.add(key)
+        self.route_recomputes += 1
+        self._rebuild_routes()
+        return True
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Whether a live route ``src -> dst`` currently exists."""
+        self._check(src)
+        self._check(dst)
+        return src == dst or self._next_hop[src][dst] != -1
+
+    def component(self, root: int) -> Set[int]:
+        """All nodes reachable from ``root`` over live edges (incl. root)."""
+        self._check(root)
+        return {root} | {d for d in range(self.n) if self._next_hop[root][d] != -1}
 
     def _bfs_next_hops(self, src: int) -> List[int]:
         parent = [-1] * self.n
@@ -143,8 +215,15 @@ class Topology:
             return 0.0
         return sum(self.hops(a, b) for a, b in pairs) / len(pairs)
 
-    def broadcast_tree(self, root: int) -> List[Tuple[int, int]]:
-        """BFS tree edges ``(parent, child)`` in propagation order."""
+    def broadcast_tree(
+        self, root: int, require_all: bool = True
+    ) -> List[Tuple[int, int]]:
+        """BFS tree edges ``(parent, child)`` in propagation order.
+
+        The tree spans live edges only.  With ``require_all`` (default) an
+        unreachable node raises :class:`RoutingError`; otherwise the tree
+        covers just the root's connected component.
+        """
         self._check(root)
         seen = {root}
         order: List[Tuple[int, int]] = []
@@ -156,7 +235,7 @@ class Topology:
                     seen.add(neighbor)
                     order.append((node, neighbor))
                     queue.append(neighbor)
-        if len(seen) != self.n:
+        if require_all and len(seen) != self.n:
             raise RoutingError(f"{self.name}: broadcast from {root} cannot reach all")
         return order
 

@@ -17,6 +17,7 @@ from typing import Callable, Iterator, List, Optional, Union
 from repro.config import SystemConfig
 from repro.core.sync import SyncManager
 from repro.errors import ConfigError, WorkloadError
+from repro.faults import FaultSchedule
 from repro.host.forwarding import ForwardController
 from repro.host.memchannel import MemoryChannel
 from repro.host.polling import make_polling
@@ -49,6 +50,7 @@ class NMPSystem:
         sync_mode: str = "hierarchical",
         sim: Optional[Simulator] = None,
         stats: Optional[StatRegistry] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config
         # a private simulator by default; pass shared ones to embed this
@@ -78,6 +80,9 @@ class NMPSystem:
         self.idc.attach(self)
         for dimm in self.dimms:
             dimm.mc.bind_idc(self.idc)
+        # arms the fault timers on mechanisms with a DL bridge; a no-op
+        # (None) on bridge-less mechanisms, whose media cannot fail here
+        self.faults = faults.install(self) if faults is not None else None
 
     # -- placement -----------------------------------------------------------------
 
@@ -131,6 +136,7 @@ class NMPSystem:
             processes.append(core.run_thread(thread_id, factory()))
         start = self.sim.now
         self.sim.run()
+        self.idc.finalize_stats()
         unfinished = [p.name for p in processes if not p.finished]
         if unfinished:
             raise WorkloadError(f"kernel deadlocked; stuck threads: {unfinished}")

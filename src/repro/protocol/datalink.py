@@ -15,6 +15,7 @@ specified actually provides reliable, flow-controlled delivery.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ProtocolError
@@ -40,7 +41,11 @@ class LossyChannel:
         self.sim = sim
         self.latency_ps = latency_ps
         self.error_rate = error_rate
-        self.rng = rng or random.Random(0)
+        # default seed derives from the channel name so distinct channels
+        # draw decorrelated error patterns while staying reproducible
+        # (a shared Random(0) made all same-named defaults corrupt in
+        # lockstep)
+        self.rng = rng or random.Random(zlib.crc32(name.encode()))
         self.name = name
         self.delivered = 0
         self.corrupted = 0

@@ -1,12 +1,13 @@
 """Discrete-event simulation kernel (engine, time units, resources, stats)."""
 
-from repro.sim.engine import AllOf, Process, SimEvent, Simulator
+from repro.sim.engine import AllOf, AnyOf, Process, SimEvent, Simulator
 from repro.sim.resource import BandwidthResource, SlotResource
 from repro.sim.stats import Histogram, StatRegistry
 from repro.sim import time
 
 __all__ = [
     "AllOf",
+    "AnyOf",
     "Process",
     "SimEvent",
     "Simulator",

@@ -8,7 +8,16 @@ is a Python generator that yields one of:
 * a :class:`SimEvent` — suspend until the event succeeds; the event's value
   is sent back into the generator,
 * a :class:`Process` — suspend until that process finishes,
-* :class:`AllOf` — suspend until every listed event/process has finished.
+* :class:`AllOf` — suspend until every listed event/process has finished,
+* :class:`AnyOf` — suspend until the first listed event/process fires.
+
+Events can also *fail* (:meth:`SimEvent.fail`): the exception is thrown
+into every waiting process at its ``yield``, so ordinary ``try/except``
+implements failover across processes.  A process whose generator raises
+fails its ``done`` event when someone is waiting on it, and propagates the
+exception out of :meth:`Simulator.run` otherwise (failures are never
+silent).  :meth:`Process.interrupt` cancels a pending wait by throwing an
+exception into the process at the current time.
 
 The kernel is single-threaded and deterministic: events scheduled at the
 same timestamp fire in scheduling order.
@@ -28,16 +37,19 @@ class SimEvent:
     """A one-shot event that processes can wait on.
 
     An event starts untriggered; calling :meth:`succeed` fires it exactly
-    once with an optional value, resuming every waiter.
+    once with an optional value, resuming every waiter.  Calling
+    :meth:`fail` instead fires it with an exception, which is thrown into
+    every waiting process.
     """
 
-    __slots__ = ("sim", "name", "_value", "_triggered", "_callbacks")
+    __slots__ = ("sim", "name", "_value", "_triggered", "_failed", "_callbacks")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._value: Any = None
         self._triggered = False
+        self._failed = False
         self._callbacks: List[Callable[["SimEvent"], None]] = []
 
     @property
@@ -46,8 +58,16 @@ class SimEvent:
         return self._triggered
 
     @property
+    def failed(self) -> bool:
+        """Whether the event fired with an exception instead of a value."""
+        return self._failed
+
+    @property
     def value(self) -> Any:
-        """The value the event fired with (None before triggering)."""
+        """The value the event fired with (None before triggering).
+
+        For failed events this is the exception instance.
+        """
         return self._value
 
     def succeed(self, value: Any = None) -> "SimEvent":
@@ -61,6 +81,28 @@ class SimEvent:
             callback(self)
         return self
 
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Fire the event with an exception, throwing it into every waiter.
+
+        A failure with no registered waiter raises ``exc`` immediately at
+        the fail site — failures must be handled, never dropped.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError(
+                f"event {self.name!r} failed with non-exception {exc!r}"
+            )
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._failed = True
+        self._value = exc
+        callbacks, self._callbacks = self._callbacks, []
+        if not callbacks:
+            raise exc
+        for callback in callbacks:
+            callback(self)
+        return self
+
     def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
         """Run ``callback(event)`` when the event fires (now if already fired)."""
         if self._triggered:
@@ -70,7 +112,11 @@ class SimEvent:
 
 
 class AllOf:
-    """Condition satisfied when all child events/processes have fired."""
+    """Condition satisfied when all child events/processes have fired.
+
+    A failing child throws its exception into the waiting process (first
+    failure wins; later results are discarded).
+    """
 
     __slots__ = ("children",)
 
@@ -78,14 +124,37 @@ class AllOf:
         self.children = list(children)
 
 
+class AnyOf:
+    """Condition satisfied when the *first* child event/process fires.
+
+    The waiting process resumes with the first child's value (or has its
+    exception thrown, if that child failed); later firings are ignored.
+    Used for timeout patterns: ``yield AnyOf([ack, sim.timeout(t)])``.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Any]) -> None:
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AnyOf needs at least one child")
+
+
 class Process:
     """A running simulation process wrapping a generator.
 
     The generator's return value becomes :attr:`value`, and :attr:`done`
-    is a :class:`SimEvent` fired on completion.
+    is a :class:`SimEvent` fired on completion.  If the generator raises,
+    ``done`` fails (throwing into any waiter); with no waiter the
+    exception propagates out of :meth:`Simulator.run`.
+
+    Every suspension records a wait *epoch*; resume callbacks carry the
+    epoch they were registered under and are ignored once stale.  That is
+    what lets :meth:`interrupt` (and :class:`AnyOf` losers) cancel a
+    pending wait without the resumed process being woken twice.
     """
 
-    __slots__ = ("sim", "name", "done", "_gen", "_finished")
+    __slots__ = ("sim", "name", "done", "_gen", "_finished", "_epoch")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         self.sim = sim
@@ -93,6 +162,7 @@ class Process:
         self.done = SimEvent(sim, name=f"{self.name}.done")
         self._gen = gen
         self._finished = False
+        self._epoch = 0
         sim._schedule_now(self._step, None)
 
     @property
@@ -105,54 +175,120 @@ class Process:
         """The generator's return value (None until finished)."""
         return self.done.value
 
+    def interrupt(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at the current time.
+
+        Cancels whatever the process is waiting on (timeout/cancellation
+        support); a finished process ignores the interrupt.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError(
+                f"process {self.name!r} interrupted with non-exception {exc!r}"
+            )
+        self.sim._schedule_now(
+            lambda _arg: None if self._finished else self._advance(True, exc), None
+        )
+
     def _step(self, send_value: Any) -> None:
+        self._advance(False, send_value)
+
+    def _resume(self, epoch: int, throw: bool, value: Any) -> None:
+        """Resume from a wait registered at ``epoch`` (ignored if stale)."""
+        if self._finished or epoch != self._epoch:
+            return
+        self._advance(throw, value)
+
+    def _advance(self, throw: bool, value: Any) -> None:
+        self._epoch += 1
         try:
-            target = self._gen.send(send_value)
+            if throw:
+                target = self._gen.throw(value)
+            else:
+                target = self._gen.send(value)
         except StopIteration as stop:
             self._finished = True
             self.done.succeed(stop.value)
             return
+        except BaseException as exc:
+            self._finished = True
+            # deliver to a waiter if someone is listening, else surface
+            # loudly out of the event loop
+            if self.done._callbacks:
+                self.done.fail(exc)
+                return
+            raise
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
+        epoch = self._epoch
         if isinstance(target, int):
             if target < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {target}"
                 )
-            self.sim.schedule(target, self._step, None)
-        elif isinstance(target, SimEvent):
-            target.add_callback(lambda ev: self.sim._schedule_now(self._step, ev.value))
-        elif isinstance(target, Process):
-            target.done.add_callback(
-                lambda ev: self.sim._schedule_now(self._step, ev.value)
+            self.sim.schedule(
+                target, lambda _arg: self._resume(epoch, False, None), None
+            )
+        elif isinstance(target, (SimEvent, Process)):
+            event = target.done if isinstance(target, Process) else target
+            event.add_callback(
+                lambda ev: self.sim._schedule_now(
+                    lambda _arg: self._resume(epoch, ev.failed, ev.value), None
+                )
             )
         elif isinstance(target, AllOf):
-            self._wait_all(target.children)
+            self._wait_all(target.children, epoch)
+        elif isinstance(target, AnyOf):
+            self._wait_any(target.children, epoch)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported {target!r}"
             )
 
-    def _wait_all(self, children: List[Any]) -> None:
+    def _wait_all(self, children: List[Any], epoch: int) -> None:
         pending = len(children)
         if pending == 0:
-            self.sim._schedule_now(self._step, [])
+            self.sim._schedule_now(lambda _arg: self._resume(epoch, False, []), None)
             return
         results: List[Any] = [None] * pending
         remaining = [pending]
 
         def on_done(index: int, ev: SimEvent) -> None:
+            if ev.failed:
+                # first failure wins; stale-epoch guard drops the rest
+                self.sim._schedule_now(
+                    lambda _arg: self._resume(epoch, True, ev.value), None
+                )
+                return
             results[index] = ev.value
             remaining[0] -= 1
             if remaining[0] == 0:
-                self.sim._schedule_now(self._step, results)
+                self.sim._schedule_now(
+                    lambda _arg: self._resume(epoch, False, results), None
+                )
 
         for index, child in enumerate(children):
             event = child.done if isinstance(child, Process) else child
             if not isinstance(event, SimEvent):
                 raise SimulationError(f"AllOf child {child!r} is not waitable")
             event.add_callback(lambda ev, i=index: on_done(i, ev))
+
+    def _wait_any(self, children: List[Any], epoch: int) -> None:
+        delivered = [False]
+
+        def on_fire(ev: SimEvent) -> None:
+            if delivered[0]:
+                return
+            delivered[0] = True
+            self.sim._schedule_now(
+                lambda _arg: self._resume(epoch, ev.failed, ev.value), None
+            )
+
+        for child in children:
+            event = child.done if isinstance(child, Process) else child
+            if not isinstance(event, SimEvent):
+                raise SimulationError(f"AnyOf child {child!r} is not waitable")
+            event.add_callback(on_fire)
 
 
 class Simulator:

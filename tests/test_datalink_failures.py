@@ -75,3 +75,21 @@ def test_latency_applied_per_frame():
     # one data frame + one ACK frame, each ns(100): done no earlier than 200ns
     assert sim.now >= ns(200)
     assert len(side_b.received) == 1
+
+
+def test_default_rng_seed_derives_from_channel_name():
+    """Distinct default channels must draw decorrelated error patterns
+    (a shared Random(0) made same-configured channels corrupt in lockstep),
+    while identically-named channels stay bit-reproducible."""
+
+    def pattern(name):
+        sim = Simulator()
+        channel = LossyChannel(sim, error_rate=0.3, name=name)
+        channel.connect(lambda _data: None)
+        for _ in range(200):
+            channel.send(b"\x55" * 8)
+        sim.run()
+        return channel.corrupted
+
+    assert pattern("a->b") == pattern("a->b")  # reproducible
+    assert pattern("a->b") != pattern("b->a")  # decorrelated

@@ -38,14 +38,17 @@ def test_clean_link_never_retransmits():
 
 
 def test_lossy_link_retransmits_roughly_at_rate():
-    sim, stats, network = _network(0.2)
+    # retransmissions can themselves fail CRC, so the expected number of
+    # retries per successful hop is p/(1-p), not p
+    rate = 0.2
+    sim, stats, network = _network(rate)
     for _ in range(200):
         network.send(0, 3, 64)
     sim.run()
     hops = stats.get("dl.hops")
     retries = stats.get("dl.retransmissions")
     assert retries > 0
-    assert retries / hops == pytest.approx(0.2, abs=0.08)
+    assert retries / hops == pytest.approx(rate / (1 - rate), abs=0.08)
 
 
 def test_errors_slow_delivery_but_never_lose_packets():
@@ -94,3 +97,17 @@ def test_lossy_system_slower_than_clean():
         return system.run(workload.thread_factories(32, 8)).time_ps
 
     assert run(0.2) > run(0.0)
+
+
+def test_retransmission_itself_subject_to_crc_failure():
+    """Regression: the old model assumed the (single) retransmission was
+    always error-free.  With per-attempt error dice the expected retries
+    per delivered hop is p/(1-p); at p=0.5 that is 1.0, which is only
+    reachable if retransmitted frames can fail CRC again."""
+    sim, stats, network = _network(0.5)
+    network.max_retries = 64  # measuring the retry ratio, not exhaustion
+    for _ in range(300):
+        network.send(0, 1, 64)
+    sim.run()
+    ratio = stats.get("dl.retransmissions") / stats.get("dl.hops")
+    assert ratio > 0.7  # impossible under retransmit-never-fails (cap 0.5)

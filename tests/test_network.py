@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import RoutingError
+from repro.errors import LinkFailure, RoutingError
 from repro.interconnect.network import PacketNetwork
 from repro.interconnect.topology import Topology
 from repro.sim import Simulator, StatRegistry
@@ -119,3 +119,142 @@ def test_hop_bytes_accounting():
     sim.run()
     assert stats.get("dl.hop_bytes") == 300  # 100 bytes x 3 hops
     assert network.total_busy_ps() == 3 * ns(4)
+
+
+# -- degraded operation ------------------------------------------------------------
+
+
+def test_dead_link_detected_by_watchdog_then_rerouted():
+    sim, stats, network = _network(name="ring", n=4)
+    network.fail_link(0, 1)
+    delivered = []
+
+    def sender():
+        for _ in range(5):
+            try:
+                yield network.send(0, 1, 64)
+                delivered.append(sim.now)
+            except LinkFailure:
+                pass
+
+    sim.run_process(sender())
+    # the watchdog needed consecutive ACK silences to declare the link
+    # dead, then routing swung the long way around the ring
+    assert stats.get("dl.ack_timeouts") > 0
+    assert stats.get("dl.links_marked_down") == 1
+    assert network.topology.hops(0, 1) == 3
+    assert delivered  # later packets still arrive (over the live route)
+
+
+def test_partitioned_chain_fails_the_send_event():
+    sim, stats, network = _network(name="half_ring", n=4)
+    network.fail_link(1, 2)
+    outcomes = []
+
+    def sender():
+        for _ in range(6):
+            try:
+                yield network.send(0, 3, 64)
+                outcomes.append("ok")
+            except LinkFailure:
+                outcomes.append("failed")
+
+    sim.run_process(sender())
+    # a chain has no alternative route: every send eventually fails, the
+    # early ones by retry exhaustion, later ones instantly (marked down)
+    assert set(outcomes) == {"failed"}
+    assert stats.get("dl.send_failures") == 6
+    assert stats.get("dl.unroutable") > 0
+
+
+def test_restore_link_heals_routing_and_watchdog():
+    sim, stats, network = _network(name="half_ring", n=4)
+    network.fail_link(1, 2)
+
+    def scenario():
+        try:
+            yield network.send(0, 3, 64)
+        except LinkFailure:
+            pass
+        network.restore_link(1, 2)
+        yield network.send(0, 3, 64)
+        return sim.now
+
+    assert sim.run_process(scenario()) > 0
+    assert stats.get("dl.links_restored") == 1
+    assert network.topology.reachable(0, 3)
+    assert stats.get("dl.packets") == 1
+
+
+def test_degrade_link_reduces_bandwidth_and_is_restorable():
+    sim, stats, network = _network()
+    nominal = network.link(0, 1).bytes_per_ns
+    network.degrade_link(0, 1, 0.5)
+    assert network.link(0, 1).bytes_per_ns == nominal * 0.5
+    assert network.link(1, 0).bytes_per_ns == nominal * 0.5
+    network.degrade_link(0, 1, 1.0)
+    assert network.link(0, 1).bytes_per_ns == nominal
+    assert stats.get("dl.link_degradations") == 2
+
+
+def test_degrade_fraction_validated():
+    _sim, _stats, network = _network()
+    with pytest.raises(LinkFailure):
+        network.degrade_link(0, 1, 0.0)
+    with pytest.raises(LinkFailure):
+        network.degrade_link(0, 1, 2.0)
+
+
+def test_availability_accounts_open_and_closed_outages():
+    sim, _stats, network = _network()
+    sim._now = ns(100)  # advance the clock directly (no queued events)
+    network.fail_link(0, 1)
+    sim._now = ns(300)
+    network.restore_link(0, 1)
+    network.fail_link(2, 3)
+    sim._now = ns(400)
+    availability = network.availability()
+    assert availability[(0, 1)] == pytest.approx(0.5)  # 200 of 400 down
+    assert availability[(2, 3)] == pytest.approx(0.75)  # open outage counted
+    assert availability[(1, 2)] == 1.0
+    assert network.finalize_stats() == pytest.approx(0.5)
+
+
+def test_stream_retries_over_restored_route():
+    sim, stats, network = _network(name="ring", n=4)
+    network.fail_link(0, 1)
+    results = []
+
+    def sender():
+        try:
+            value = yield network.stream(0, 1, 8192)
+            results.append(value)
+        except LinkFailure:
+            results.append("failed")
+
+    sim.run_process(sender())
+    # the stream's retry loop reports timeouts until the watchdog flips
+    # the link, then the recomputed path delivers the train
+    assert results == [8192]
+    assert stats.get("dl.links_marked_down") == 1
+
+
+def test_broadcast_fails_over_partition():
+    sim, stats, network = _network(name="half_ring", n=4)
+    network.fail_link(1, 2)
+    # mark it down in routing too (watchdog verdict), so the flood tree
+    # is computed over the partitioned graph
+    network.watchdog.report_timeout((1, 2))
+    network.watchdog.report_timeout((1, 2))
+    network.watchdog.report_timeout((1, 2))
+    outcome = []
+
+    def sender():
+        try:
+            yield network.broadcast(0, 256)
+            outcome.append("ok")
+        except LinkFailure:
+            outcome.append("failed")
+
+    sim.run_process(sender())
+    assert outcome == ["failed"]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AllOf, Simulator
+from repro.sim import AllOf, AnyOf, Simulator
 from repro.sim.time import ns
 
 
@@ -175,3 +175,141 @@ def test_yielding_garbage_raises():
     sim.process(proc())
     with pytest.raises(SimulationError):
         sim.run()
+
+
+# -- failure, cancellation, and AnyOf semantics ------------------------------------
+
+
+def test_event_fail_throws_into_waiter():
+    sim = Simulator()
+    gate = sim.event("gate")
+    sim.schedule(10, lambda _: gate.fail(ValueError("boom")))
+
+    def proc():
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"recovered:{exc}"
+
+    assert sim.run_process(proc()) == "recovered:boom"
+    assert sim.now == 10
+    assert gate.failed
+
+
+def test_event_fail_without_waiter_raises_at_fail_site():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.event("gate").fail(ValueError("unhandled"))
+
+
+def test_event_fail_with_non_exception_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not-an-exception")
+
+
+def test_process_failure_propagates_out_of_run_without_waiter():
+    sim = Simulator()
+
+    def proc():
+        yield 5
+        raise RuntimeError("loud")
+
+    sim.process(proc())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_process_failure_delivered_to_waiting_parent():
+    sim = Simulator()
+
+    def child():
+        yield 5
+        raise RuntimeError("child died")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except RuntimeError:
+            return "handled"
+
+    assert sim.run_process(parent()) == "handled"
+
+
+def test_anyof_first_event_wins_and_losers_are_ignored():
+    sim = Simulator()
+    def proc():
+        value = yield AnyOf([sim.timeout(50, "slow"), sim.timeout(10, "fast")])
+        return value
+
+    assert sim.run_process(proc()) == "fast"
+
+
+def test_anyof_timeout_pattern_guards_a_hung_event():
+    sim = Simulator()
+    def proc():
+        result = yield AnyOf([sim.event("never-acked"), sim.timeout(100, "timeout")])
+        return result
+
+    assert sim.run_process(proc()) == "timeout"
+    assert sim.now == 100
+
+
+def test_anyof_needs_children():
+    with pytest.raises(SimulationError):
+        AnyOf([])
+
+
+def test_allof_child_failure_throws_first_failure():
+    sim = Simulator()
+    bad = sim.event("bad")
+    sim.schedule(5, lambda _: bad.fail(ValueError("first")))
+
+    def proc():
+        try:
+            yield AllOf([sim.timeout(50), bad])
+        except ValueError:
+            return sim.now
+
+    assert sim.run_process(proc()) == 5
+
+
+def test_interrupt_cancels_pending_sleep():
+    sim = Simulator()
+
+    def proc():
+        try:
+            yield 1000
+        except TimeoutError:
+            return sim.now
+
+    handle = sim.process(proc())
+    sim.schedule(100, lambda _: handle.interrupt(TimeoutError()))
+    sim.run()
+    assert handle.value == 100
+    # the stale 1000ps wakeup must not resume the finished process
+    assert sim.now >= 1000 or handle.finished
+
+
+def test_interrupt_after_finish_is_ignored():
+    sim = Simulator()
+
+    def proc():
+        yield 10
+        return "ok"
+
+    handle = sim.process(proc())
+    sim.schedule(50, lambda _: handle.interrupt(RuntimeError("late")))
+    sim.run()
+    assert handle.value == "ok"
+
+
+def test_interrupt_with_non_exception_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield 10
+
+    handle = sim.process(proc())
+    with pytest.raises(SimulationError):
+        handle.interrupt("oops")

@@ -104,3 +104,81 @@ def test_single_node_topology():
     assert topo.edges == []
     assert topo.diameter() == 0
     assert topo.broadcast_tree(0) == []
+
+
+# -- degenerate sizes (documented fallbacks) ---------------------------------------
+
+
+def test_ring_with_two_nodes_degrades_to_chain():
+    # a 2-node "ring" would need a redundant parallel link; build_edges
+    # documents the fallback to a chain
+    assert build_edges("ring", 2) == [(0, 1)]
+    assert build_edges("ring", 1) == []
+    assert Topology("ring", 2).diameter() == 1
+
+
+def test_ring_three_nodes_is_a_real_cycle():
+    assert len(build_edges("ring", 3)) == 3
+
+
+def test_torus_two_wide_dimensions_drop_wrap_edges():
+    # 2x2 torus: both dims are 2-wide, so all wraps would duplicate mesh
+    # edges — the torus must equal the mesh exactly
+    assert build_edges("torus", 4) == build_edges("mesh", 4)
+    # 2x4 torus: the 2-wide row dim drops its wrap; the 4-wide column dim
+    # keeps it, adding exactly the two row-closing edges
+    extra = set(build_edges("torus", 8)) - set(build_edges("mesh", 8))
+    assert extra == {(0, 3), (4, 7)}
+
+
+def test_ring_wrap_edge_is_canonical():
+    topo = Topology("ring", 8)
+    assert all(a < b for a, b in topo.edges)
+    assert topo.edge_key(7, 0) == (0, 7)
+
+
+# -- dynamic link state ------------------------------------------------------------
+
+
+def test_set_link_state_recomputes_routes():
+    topo = Topology("ring", 4)
+    assert topo.hops(0, 3) == 1
+    assert topo.set_link_state(0, 3, False) is True
+    assert topo.hops(0, 3) == 3  # rerouted the long way around
+    assert topo.set_link_state(0, 3, False) is False  # no change, no recompute
+    assert topo.route_recomputes == 1
+    assert topo.set_link_state(3, 0, True) is True  # endpoint order-insensitive
+    assert topo.hops(0, 3) == 1
+
+
+def test_link_state_on_nonexistent_edge_rejected():
+    topo = Topology("half_ring", 4)
+    with pytest.raises(RoutingError):
+        topo.set_link_state(0, 2, False)
+    with pytest.raises(RoutingError):
+        topo.link_up(0, 2)
+
+
+def test_partition_reachability_component_and_broadcast():
+    topo = Topology("half_ring", 4)
+    topo.set_link_state(1, 2, False)
+    assert not topo.reachable(0, 3)
+    assert topo.reachable(0, 1)
+    assert topo.component(0) == {0, 1}
+    assert topo.component(3) == {2, 3}
+    with pytest.raises(RoutingError):
+        topo.next_hop(0, 3)
+    with pytest.raises(RoutingError):
+        topo.broadcast_tree(0)
+    partial = topo.broadcast_tree(0, require_all=False)
+    assert [child for _parent, child in partial] == [1]
+
+
+def test_live_edges_shrink_and_recover():
+    topo = Topology("ring", 4)
+    assert len(topo.live_edges) == 4
+    topo.set_link_state(1, 2, False)
+    assert len(topo.live_edges) == 3
+    assert not topo.link_up(1, 2)
+    topo.set_link_state(1, 2, True)
+    assert len(topo.live_edges) == 4
