@@ -89,6 +89,10 @@ class DIMMLinkIDC(IDCMechanism):
         """Account one degraded-mode escalation to host forwarding."""
         self.stats.add("dl.rerouted_to_host", operations)
         self.stats.add("dl.rerouted_bytes", nbytes)
+        if self.sim.trace.enabled:
+            self.sim.trace.instant(
+                "idc", "reroute_to_host", "idc.dimm_link", bytes=nbytes
+            )
 
     # -- IDCMechanism ---------------------------------------------------------------
 
@@ -105,6 +109,7 @@ class DIMMLinkIDC(IDCMechanism):
                 self._inter_read(system, src_dimm, dst_dimm, offset, nbytes, done),
                 name="dl.read.fwd",
             )
+        self.trace_op(done, "remote_read", src=src_dimm, dst=dst_dimm, bytes=nbytes)
         return done
 
     def _intra_read(self, src, dst, offset, nbytes, done: SimEvent):
@@ -164,6 +169,7 @@ class DIMMLinkIDC(IDCMechanism):
                 self._inter_write(system, src_dimm, dst_dimm, offset, nbytes, done),
                 name="dl.write.fwd",
             )
+        self.trace_op(done, "remote_write", src=src_dimm, dst=dst_dimm, bytes=nbytes)
         return done
 
     def _intra_write(self, src, dst, offset, nbytes, done: SimEvent):
@@ -204,6 +210,7 @@ class DIMMLinkIDC(IDCMechanism):
         self.sim.process(
             self._broadcast(system, src_dimm, offset, nbytes, done), name="dl.bc"
         )
+        self.trace_op(done, "broadcast", src=src_dimm, bytes=nbytes)
         return done
 
     def _flood_group(self, system, root, offset, nbytes):

@@ -78,10 +78,19 @@ class Bank:
 class Rank:
     """A rank: banks plus rank-wide activate pacing, refresh, and data bus."""
 
-    def __init__(self, timing: DRAMTiming, stats: StatRegistry, name: str = "rank") -> None:
+    def __init__(
+        self,
+        timing: DRAMTiming,
+        stats: StatRegistry,
+        name: str = "rank",
+        sim=None,
+    ) -> None:
         self.timing = timing
         self.stats = stats
         self.name = name
+        #: optional simulator handle, used only to reach its trace recorder
+        #: (the timeline arithmetic itself never reads the clock).
+        self.sim = sim
         self.banks = [Bank(timing) for _ in range(timing.banks_per_rank)]
         self._recent_activates: Deque[int] = deque(maxlen=4)
         self._bus_free_at = 0
@@ -124,6 +133,16 @@ class Rank:
         self._bus_free_at = done
         kind = "write" if is_write else "read"
         self.stats.add(f"dram.{kind}_bytes", self.timing.burst_bytes)
+        if self.sim is not None and self.sim.trace.enabled:
+            self.sim.trace.complete(
+                "dram",
+                category,
+                f"{self.name}.bank{bank_id}",
+                start,
+                done,
+                row=row,
+                kind=kind,
+            )
         return done
 
     def stream(self, now: int, nbytes: int, is_write: bool) -> int:
@@ -143,6 +162,10 @@ class Rank:
         kind = "write" if is_write else "read"
         self.stats.add(f"dram.{kind}_bytes", nbytes)
         self.stats.add("dram.activates", max(1, nbytes // timing.row_bytes))
+        if self.sim is not None and self.sim.trace.enabled:
+            self.sim.trace.complete(
+                "dram", "stream", self.name, start, done, bytes=nbytes, kind=kind
+            )
         return done
 
     def precharge_all(self) -> None:

@@ -101,9 +101,19 @@ class FRFCFSController:
         while self._queue:
             request = self._pick()
             rank = self.module.ranks[request.rank]
+            issued_at = self.sim.now
             finish = rank.access_line(
-                self.sim.now, request.bank, request.row, request.is_write
+                issued_at, request.bank, request.row, request.is_write
             )
+            if self.sim.trace.enabled:
+                self.sim.trace.complete(
+                    "dram",
+                    "write" if request.is_write else "read",
+                    f"frfcfs.rank{request.rank}.bank{request.bank}",
+                    issued_at,
+                    finish,
+                    row=request.row,
+                )
             self.sim.at(finish, self._complete, request)
             yield ISSUE_SLOT_PS
         self._running = False

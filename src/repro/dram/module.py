@@ -39,7 +39,7 @@ class DRAMModule:
         self.stats = stats
         self.address_map = AddressMap.for_timing(ranks, timing)
         self.ranks = [
-            Rank(timing, stats, name=f"{name}.rank{i}") for i in range(ranks)
+            Rank(timing, stats, name=f"{name}.rank{i}", sim=sim) for i in range(ranks)
         ]
 
     @property

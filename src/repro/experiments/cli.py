@@ -4,6 +4,7 @@ Installed as ``dimmlink-repro``::
 
     dimmlink-repro fig10 --size small
     dimmlink-repro all   --size tiny
+    dimmlink-repro trace fig10 --size tiny --out traces/
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ from repro.experiments import (
     resilience,
     table1_bandwidth_model,
     table2_serdes,
+    trace_run,
 )
 
 #: experiment name -> main(size) callable (or main() for size-less ones).
@@ -58,20 +60,58 @@ def experiment_names() -> list:
     return sorted(list(_SIZED) + list(_UNSIZED)) + ["all"]
 
 
+def traceable_names() -> list:
+    """Experiment ids accepted by the ``trace`` command."""
+    return [name for name in experiment_names() if name != "all"]
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
         prog="dimmlink-repro",
         description="Regenerate DIMM-Link (HPCA'23) tables and figures.",
     )
-    parser.add_argument("experiment", choices=experiment_names())
+    parser.add_argument(
+        "experiment",
+        choices=experiment_names() + ["trace"],
+        help="experiment id, 'all', or 'trace' (record one traced run)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment id to trace (only with the 'trace' command)",
+    )
     parser.add_argument(
         "--size",
         default="small",
         choices=("tiny", "small", "large"),
         help="workload size preset (default: small)",
     )
+    parser.add_argument(
+        "--out",
+        default="traces",
+        help="output directory for trace files (trace command only)",
+    )
+    parser.add_argument(
+        "--window-ns",
+        type=float,
+        default=trace_run.DEFAULT_WINDOW_NS,
+        help="time-series sampler window in simulated ns (trace command only)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        if args.target is None or args.target not in traceable_names():
+            parser.error(
+                f"trace needs an experiment id from: {', '.join(traceable_names())}"
+            )
+        trace_run.main(
+            args.target, size=args.size, out_dir=args.out, window_ns=args.window_ns
+        )
+        return 0
+    if args.target is not None:
+        parser.error("a second positional is only valid with the 'trace' command")
 
     if args.experiment == "all":
         for name, runner in sorted(_UNSIZED.items()):

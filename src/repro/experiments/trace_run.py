@@ -1,0 +1,162 @@
+"""``dimmlink-repro trace`` — record a traced run of any experiment.
+
+Every experiment id maps to one *representative scenario* (a config,
+workload, mechanism, and polling strategy exercising the code paths that
+experiment is about); the scenario is executed once on a simulator with a
+:class:`~repro.trace.TraceRecorder` and a windowed
+:class:`~repro.trace.TimeSeriesSampler` installed, and the recording is
+exported as
+
+* ``<experiment>-<size>.trace.json`` — Chrome ``trace_event`` JSON,
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev,
+* ``<experiment>-<size>.trace.jsonl`` — one JSON object per line
+  (spans, instants, and per-window counter deltas) for scripted analysis.
+
+Tracing a single representative run (rather than the experiment's whole
+grid) keeps trace files small enough to load in a viewer while still
+covering the network / dram / host / nmp / idc span taxonomy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, NamedTuple, Optional
+
+from repro.config import SystemConfig
+from repro.experiments.common import build_workload, threads_for
+from repro.nmp.system import NMPSystem
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+from repro.sim.time import ns
+from repro.trace import TimeSeriesSampler, TraceRecorder, write_chrome_trace, write_jsonl
+
+#: default sampler window (simulated time) for the time-series curves.
+DEFAULT_WINDOW_NS = 100.0
+
+
+class Scenario(NamedTuple):
+    """The representative system run traced for one experiment id."""
+
+    config: str
+    workload: str
+    mechanism: str
+    polling: Optional[str]
+
+
+#: 16D-8C has two DL groups, so pagerank's all-to-all traffic exercises
+#: bridge packets, host forwarding, proxy polling, DRAM, and barriers.
+_DEFAULT = Scenario("16D-8C", "pagerank", "dimm_link", "proxy")
+
+#: experiment-specific overrides (everything else traces the default).
+SCENARIOS: Dict[str, Scenario] = {
+    "fig12": Scenario("16D-8C", "spmv_bc", "dimm_link", "proxy"),
+    "fig14": Scenario("16D-8C", "sssp", "dimm_link", "proxy"),
+    "fig15": Scenario("16D-8C", "pagerank", "dimm_link", "baseline"),
+    "fig1": Scenario("8D-4C", "pagerank", "dimm_link", "proxy"),
+    "fig11": Scenario("8D-4C", "hotspot", "dimm_link", "proxy"),
+    "table1": Scenario("4D-2C", "kmeans", "dimm_link", None),
+    "table2": Scenario("4D-2C", "nw", "dimm_link", None),
+    "mapping": Scenario("16D-8C", "bfs", "dimm_link", "proxy"),
+}
+
+
+def scenario_for(experiment: str) -> Scenario:
+    """The scenario traced for an experiment id."""
+    return SCENARIOS.get(experiment, _DEFAULT)
+
+
+def run_traced(
+    experiment: str,
+    size: str = "tiny",
+    window_ns: float = DEFAULT_WINDOW_NS,
+) -> Dict[str, object]:
+    """Execute the experiment's scenario under tracing.
+
+    Returns a dict with the recorder, the sampler, and the run result.
+    """
+    scenario = scenario_for(experiment)
+    workload = build_workload(scenario.workload, size)
+    config = SystemConfig.named(scenario.config)
+
+    sim = Simulator()
+    stats = StatRegistry()
+    recorder = TraceRecorder(sim)
+    sampler = TimeSeriesSampler(stats, window_ps=ns(window_ns))
+    recorder.add_sampler(sampler)
+    # install before system construction so every component sees it
+    sim.trace = recorder
+
+    system = NMPSystem(
+        config,
+        idc=scenario.mechanism,
+        polling=scenario.polling,
+        sim=sim,
+        stats=stats,
+    )
+    factories = workload.thread_factories(threads_for(config), config.num_dimms)
+    result = system.run(factories, workload_name=workload.name)
+    recorder.finalize()
+    return {
+        "scenario": scenario,
+        "recorder": recorder,
+        "sampler": sampler,
+        "result": result,
+    }
+
+
+def export(
+    experiment: str,
+    recorder: TraceRecorder,
+    size: str,
+    out_dir: str,
+) -> Dict[str, str]:
+    """Write both export formats; returns the file paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    chrome_path = os.path.join(out_dir, f"{experiment}-{size}.trace.json")
+    jsonl_path = os.path.join(out_dir, f"{experiment}-{size}.trace.jsonl")
+    write_chrome_trace(recorder, chrome_path)
+    write_jsonl(recorder, jsonl_path)
+    return {"chrome": chrome_path, "jsonl": jsonl_path}
+
+
+def main(
+    experiment: str,
+    size: str = "tiny",
+    out_dir: str = "traces",
+    window_ns: float = DEFAULT_WINDOW_NS,
+) -> None:
+    """Trace one experiment scenario and print a recording summary."""
+    traced = run_traced(experiment, size=size, window_ns=window_ns)
+    recorder: TraceRecorder = traced["recorder"]  # type: ignore[assignment]
+    sampler: TimeSeriesSampler = traced["sampler"]  # type: ignore[assignment]
+    scenario: Scenario = traced["scenario"]  # type: ignore[assignment]
+    result = traced["result"]
+    paths = export(experiment, recorder, size, out_dir)
+
+    per_cat: Dict[str, int] = {}
+    for record in recorder.spans:
+        per_cat[record[0]] = per_cat.get(record[0], 0) + 1
+    print(
+        f"traced {experiment} (size={size}): {scenario.workload} on "
+        f"{scenario.config}, idc={scenario.mechanism}, "
+        f"polling={scenario.polling or 'default'}"
+    )
+    print(f"  simulated time: {result.time_ps / 1e6:.1f} us")
+    print(f"  spans by category: {dict(sorted(per_cat.items()))}")
+    print(
+        f"  instants: {len(recorder.instants)}, samples: "
+        f"{len(sampler.samples)} x {sampler.window_ps / 1000:.0f} ns windows, "
+        f"dropped: {recorder.dropped}"
+    )
+    hop_rate = sampler.rate_series("dl.hop_bytes")
+    fwd_rate = sampler.rate_series("fwd.bytes")
+    if hop_rate:
+        print(f"  peak DL bandwidth: {max(rate for _t, rate in hop_rate):.2f} GB/s")
+    if fwd_rate:
+        print(f"  peak host-forward bandwidth: {max(rate for _t, rate in fwd_rate):.2f} GB/s")
+    print(f"  chrome trace: {paths['chrome']}")
+    print(f"  jsonl trace:  {paths['jsonl']}")
+
+
+if __name__ == "__main__":
+    main("headline")

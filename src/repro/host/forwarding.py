@@ -83,6 +83,19 @@ class ForwardController:
         done: SimEvent,
     ):
         start = self.sim.now
+        trace = self.sim.trace
+        span = (
+            trace.begin(
+                "host",
+                "forward",
+                "host.fwd",
+                src=src_dimm,
+                dst=dst_dimm,
+                bytes=wire_bytes,
+            )
+            if trace.enabled
+            else None
+        )
         if notice_dimm != -1:
             yield self.polling.notice(
                 src_dimm if notice_dimm is None else notice_dimm
@@ -98,4 +111,5 @@ class ForwardController:
         self.stats.add("fwd.ops")
         self.stats.add("fwd.bytes", wire_bytes)
         self.stats.histogram("fwd.latency_ns").record((self.sim.now - start) / 1000)
+        trace.end(span)
         done.succeed(wire_bytes)

@@ -67,6 +67,10 @@ class _Base:
         self.sim.schedule(delay_ps, lambda _arg: event.succeed(None), None)
         self.stats.add("poll.notices")
         self.stats.histogram("poll.notice_delay_ns").record(delay_ps / 1000)
+        if self.sim.trace.enabled:
+            self.sim.trace.instant(
+                "host", "poll.notice", "host.poll", delay_ps=delay_ps
+            )
         return event
 
 
@@ -117,6 +121,10 @@ class InterruptPolling(_Base):
                 yield channel.transfer(self.host.poll_read_bytes, kind="poll")
                 self.stats.add("poll.scan_reads")
             self.stats.add("poll.notices")
+            if self.sim.trace.enabled:
+                self.sim.trace.instant(
+                    "host", "poll.interrupt", "host.poll", dimm=dimm_id
+                )
             done.succeed(None)
 
         self.sim.process(proc(), name="poll.interrupt")
@@ -175,6 +183,10 @@ class ProxyInterruptPolling(ProxyPolling):
             yield channel.transfer(self.host.poll_read_bytes, kind="poll")
             self.stats.add("poll.scan_reads")
             self.stats.add("poll.notices")
+            if self.sim.trace.enabled:
+                self.sim.trace.instant(
+                    "host", "poll.interrupt", "host.poll", dimm=dimm_id
+                )
             done.succeed(None)
 
         self.sim.process(proc(), name="poll.proxy_interrupt")

@@ -43,6 +43,18 @@ class IDCMechanism(abc.ABC):
             raise RuntimeError(f"{self.name}: mechanism not attached to a system")
         return self.system
 
+    def trace_op(self, done: SimEvent, op: str, **args) -> None:
+        """Record an ``idc``-category span from now until ``done`` fires.
+
+        A no-op unless the system's simulator carries an enabled trace
+        recorder, so mechanisms can call this unconditionally.
+        """
+        trace = self._require_system().sim.trace
+        if not trace.enabled:
+            return
+        span = trace.begin("idc", op, f"idc.{self.name}", **args)
+        done.add_callback(lambda ev: trace.end(span, failed=ev.failed))
+
     @abc.abstractmethod
     def remote_read(
         self, src_dimm: int, dst_dimm: int, offset: int, nbytes: int

@@ -282,11 +282,33 @@ class PacketNetwork:
             backoff = self._backoff_ps(attempt)
             self.stats.add("dl.retransmissions")
             self.stats.add("dl.backoff_ps", backoff)
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.instant(
+                    "network",
+                    "retry",
+                    f"{self.name}.link{a}-{b}",
+                    attempt=attempt,
+                    backoff_ps=backoff,
+                )
             yield backoff
 
     def _route_proc(self, src: int, dst: int, wire_bytes: int, done: SimEvent):
         """Adaptive store-and-forward routing: re-resolve the next hop at
         every step so mid-flight route recomputation takes effect."""
+        trace = self.sim.trace
+        span = (
+            trace.begin(
+                "network",
+                "packet",
+                f"{self.name}.route",
+                src=src,
+                dst=dst,
+                bytes=wire_bytes,
+            )
+            if trace.enabled
+            else None
+        )
         try:
             node = src
             steps = 0
@@ -304,9 +326,11 @@ class PacketNetwork:
                     )
         except LinkFailure as exc:
             self.stats.add("dl.send_failures")
+            trace.end(span, status="failed")
             done.fail(exc)
             return
         self.stats.add("dl.packets")
+        trace.end(span, status="delivered", hops=steps)
         done.succeed(wire_bytes)
 
     def stream(self, src: int, dst: int, wire_bytes: int) -> SimEvent:
@@ -336,6 +360,19 @@ class PacketNetwork:
         return done
 
     def _stream_proc(self, src: int, dst: int, wire_bytes: int, done: SimEvent):
+        trace = self.sim.trace
+        span = (
+            trace.begin(
+                "network",
+                "stream",
+                f"{self.name}.stream",
+                src=src,
+                dst=dst,
+                bytes=wire_bytes,
+            )
+            if trace.enabled
+            else None
+        )
         attempt = 0
         while True:
             try:
@@ -343,6 +380,7 @@ class PacketNetwork:
             except RoutingError as exc:
                 self.stats.add("dl.unroutable")
                 self.stats.add("dl.send_failures")
+                trace.end(span, status="failed")
                 done.fail(LinkFailure(f"{self.name}: no live route {src}->{dst}"))
                 return
             dead = [
@@ -361,6 +399,7 @@ class PacketNetwork:
                 self.stats.add("dl.hop_bytes", wire_bytes * hops)
                 self.stats.add("dl.hops", hops)
                 self.stats.add("dl.packets")
+                trace.end(span, status="delivered", hops=hops)
                 done.succeed(wire_bytes)
                 return
             for edge in dead:
@@ -369,6 +408,7 @@ class PacketNetwork:
             attempt += 1
             if attempt > self.max_retries:
                 self.stats.add("dl.send_failures")
+                trace.end(span, status="failed")
                 done.fail(
                     LinkFailure(
                         f"{self.name}: stream {src}->{dst} gave up after "
@@ -442,14 +482,29 @@ class PacketNetwork:
                 self.sim.process(forward(parent, child), name=f"{self.name}.bc")
             )
 
+        trace = self.sim.trace
+        span = (
+            trace.begin(
+                "network",
+                "broadcast",
+                f"{self.name}.broadcast",
+                root=root,
+                bytes=wire_bytes,
+            )
+            if trace.enabled
+            else None
+        )
+
         def finish():
             try:
                 yield AllOf(children)
             except LinkFailure as exc:
                 self.stats.add("dl.send_failures")
+                trace.end(span, status="failed")
                 done.fail(exc)
                 return
             self.stats.add("dl.broadcasts")
+            trace.end(span, status="delivered")
             done.succeed(wire_bytes)
 
         self.sim.process(finish(), name=f"{self.name}.bc.finish")

@@ -72,6 +72,12 @@ class ThreadExecutor(abc.ABC):
 
     def _thread_proc(self, thread_id: int, ops: Iterable):
         start = self.sim.now
+        trace = self.sim.trace
+        thread_span = (
+            trace.begin("nmp", "thread", self.name, thread=thread_id)
+            if trace.enabled
+            else None
+        )
         for op in ops:
             if isinstance(op, Compute):
                 duration = cycles(op.cycles * self.compute_scale, self.freq_ghz)
@@ -82,13 +88,25 @@ class ThreadExecutor(abc.ABC):
             elif isinstance(op, Broadcast):
                 yield from self._drain()
                 blocked_from = self.sim.now
+                span = (
+                    trace.begin("nmp", "broadcast", self.name, thread=thread_id)
+                    if trace.enabled
+                    else None
+                )
                 yield self.broadcast(op)
+                trace.end(span)
                 self.stats.add("core.stall_remote_ps", self.sim.now - blocked_from)
                 self.stats.add("core.broadcasts")
             elif isinstance(op, Barrier):
                 yield from self._drain()
                 blocked_from = self.sim.now
+                span = (
+                    trace.begin("nmp", "barrier", self.name, thread=thread_id)
+                    if trace.enabled
+                    else None
+                )
                 yield self.barrier(thread_id)
+                trace.end(span)
                 self.stats.add("core.stall_sync_ps", self.sim.now - blocked_from)
                 self.stats.add("core.barriers")
             elif isinstance(op, Flush):
@@ -98,6 +116,7 @@ class ThreadExecutor(abc.ABC):
         yield from self._drain()
         self.stats.add("core.thread_ps", self.sim.now - start)
         self.stats.add("core.threads")
+        trace.end(thread_span)
         return self.sim.now
 
     def _issue_memory(self, op):

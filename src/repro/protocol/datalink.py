@@ -63,6 +63,10 @@ class LossyChannel:
             index = self.rng.randrange(len(wire))
             wire = wire[:index] + bytes([wire[index] ^ 0x01]) + wire[index + 1 :]
             self.corrupted += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.instant(
+                    "network", "corruption", self.name, byte=index
+                )
         else:
             self.delivered += 1
         self.sim.schedule(self.latency_ps, lambda data: self._sink(data), wire)
@@ -111,6 +115,14 @@ class DataLinkEndpoint:
         packet.seq = self._next_seq
         self._next_seq = (self._next_seq + 1) % 256
         wire = packet.encode()
+        trace = self.sim.trace
+        span = (
+            trace.begin(
+                "network", "dll.send", self.name, seq=packet.seq, bytes=len(wire)
+            )
+            if trace.enabled
+            else None
+        )
         attempts = 0
         while True:
             if self.tx_channel is None:
@@ -125,12 +137,16 @@ class DataLinkEndpoint:
                 break
             if attempts > self.max_retries:
                 self._acks.pop(packet.seq, None)
+                trace.end(span, status="lost", attempts=attempts)
                 raise ProtocolError(
                     f"{self.name}: packet seq={packet.seq} lost after "
                     f"{self.max_retries} retries"
                 )
             self.retransmissions += 1
+            if trace.enabled:
+                trace.instant("network", "retry", self.name, seq=packet.seq)
         self.credits.release()
+        trace.end(span, status="acked", attempts=attempts)
         done.succeed(packet)
 
     def _on_wire(self, wire: bytes) -> None:

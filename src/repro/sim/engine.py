@@ -29,6 +29,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.trace.recorder import NULL_RECORDER
 
 ProcessGen = Generator[Any, Any, Any]
 
@@ -298,6 +299,9 @@ class Simulator:
         self._now = 0
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[Any], None], Any]] = []
+        #: observability hook; the shared no-op recorder unless a
+        #: :class:`~repro.trace.recorder.TraceRecorder` is installed.
+        self.trace = NULL_RECORDER
 
     @property
     def now(self) -> int:
@@ -337,19 +341,31 @@ class Simulator:
 
         ``until`` bounds simulated time; ``max_events`` guards against
         runaway simulations (raises :class:`SimulationError` when hit).
+        Whether the queue empties before the horizon or not, the clock
+        lands on ``until`` (never moving backwards), so time-based rate
+        denominators are consistent across both cases.
         """
         processed = 0
+        trace = self.trace
+        tracing = trace.enabled
         while self._queue:
             time, _seq, callback, arg = self._queue[0]
             if until is not None and time > until:
-                self._now = until
-                return self._now
+                break
             heapq.heappop(self._queue)
-            self._now = time
+            if tracing and time != self._now:
+                self._now = time
+                trace.on_time_advance(time)
+            else:
+                self._now = time
             callback(arg)
             processed += 1
             if max_events is not None and processed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
+        if until is not None and until > self._now:
+            self._now = until
+            if tracing:
+                trace.on_time_advance(until)
         return self._now
 
     def run_process(self, gen: ProcessGen, name: str = "") -> Any:

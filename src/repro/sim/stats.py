@@ -15,6 +15,11 @@ from typing import Dict, Iterator, List, Optional, Tuple
 class Histogram:
     """A streaming histogram tracking count/sum/min/max and log2 buckets."""
 
+    #: bucket holding all non-positive samples.  floor(log2(x)) of the
+    #: smallest positive float is -1074, so this can never collide with a
+    #: genuine log2 bucket (values in (0, 1) land in buckets -1074..-1).
+    NONPOS_BUCKET = -1075
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.count = 0
@@ -29,7 +34,10 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        bucket = -1 if value <= 0 else int(math.floor(math.log2(value)))
+        if value <= 0:
+            bucket = self.NONPOS_BUCKET
+        else:
+            bucket = int(math.floor(math.log2(value)))
         self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
 
     @property
@@ -95,9 +103,26 @@ class StatRegistry:
         return hist
 
     def counters(self, prefix: str = "") -> Dict[str, float]:
-        """Snapshot of all counters whose full name starts with ``prefix``."""
+        """Snapshot of all counters under ``prefix``.
+
+        Matching is on whole dotted components: prefix ``"dl"`` selects the
+        counter ``"dl"`` itself and everything under ``"dl."``, but not
+        ``"dlx.foo"``.  A prefix already ending in ``"."`` (including the
+        implicit one of a scoped registry) selects everything under it.
+        """
         full = self._key(prefix)
-        return {k: v for k, v in self._counters.items() if k.startswith(full)}
+        if not full:
+            return dict(self._counters)
+        if full.endswith("."):
+            return {
+                k: v for k, v in self._counters.items() if k.startswith(full)
+            }
+        dotted = full + "."
+        return {
+            k: v
+            for k, v in self._counters.items()
+            if k == full or k.startswith(dotted)
+        }
 
     def sum(self, prefix: str) -> float:
         """Sum of every counter under ``prefix``."""

@@ -1,0 +1,180 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL.
+
+The Chrome format (one ``{"traceEvents": [...]}`` object) loads directly
+in ``chrome://tracing`` and Perfetto: span categories map to processes,
+span groups (cores, links, ranks) map to threads, and sampler windows
+become counter tracks.  The JSONL format is one self-describing JSON
+object per line (``meta`` / ``span`` / ``instant`` / ``sample``) for
+ad-hoc analysis with standard line tools.
+
+Timestamps: the simulator counts picoseconds; Chrome trace ``ts``/``dur``
+are microseconds, so values are divided by 1e6 and ``displayTimeUnit`` is
+set to ``ns``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.trace.recorder import TraceRecorder
+
+_PS_PER_US = 1_000_000.0
+
+
+def _track_ids(recorder: TraceRecorder):
+    """Assign stable pid per category and tid per (group, lane)."""
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    for record in recorder.spans:
+        cat, group, lane = record[0], record[2], record[3]
+        pids.setdefault(cat, len(pids) + 1)
+        tids.setdefault((cat, group, lane), len(tids) + 1)
+    for record in recorder.instants:
+        cat, group = record[0], record[2]
+        pids.setdefault(cat, len(pids) + 1)
+        tids.setdefault((cat, group, 0), len(tids) + 1)
+    return pids, tids
+
+
+def chrome_trace_events(recorder: TraceRecorder) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for one recorded run."""
+    pids, tids = _track_ids(recorder)
+    events: List[Dict[str, Any]] = []
+    for cat, pid in pids.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "name": "process_name",
+                "args": {"name": cat},
+            }
+        )
+    for (cat, group, lane), tid in tids.items():
+        label = group if lane == 0 else f"{group}[{lane}]"
+        events.append(
+            {
+                "ph": "M",
+                "pid": pids[cat],
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": label},
+            }
+        )
+    for cat, name, group, lane, start_ps, end_ps, args in recorder.spans:
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "pid": pids[cat],
+            "tid": tids[(cat, group, lane)],
+            "name": name,
+            "cat": cat,
+            "ts": start_ps / _PS_PER_US,
+            "dur": (end_ps - start_ps) / _PS_PER_US,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    for cat, name, group, ts_ps, args in recorder.instants:
+        event = {
+            "ph": "i",
+            "s": "t",
+            "pid": pids[cat],
+            "tid": tids[(cat, group, 0)],
+            "name": name,
+            "cat": cat,
+            "ts": ts_ps / _PS_PER_US,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    counter_pid = len(pids) + 1
+    emitted_counter_meta = False
+    for sampler in recorder.samplers:
+        for t_ps, deltas in sampler.samples:
+            for key, delta in deltas.items():
+                if not emitted_counter_meta:
+                    events.append(
+                        {
+                            "ph": "M",
+                            "pid": counter_pid,
+                            "name": "process_name",
+                            "args": {"name": "timeseries"},
+                        }
+                    )
+                    emitted_counter_meta = True
+                events.append(
+                    {
+                        "ph": "C",
+                        "pid": counter_pid,
+                        "name": key,
+                        "ts": t_ps / _PS_PER_US,
+                        "args": {"delta": delta},
+                    }
+                )
+    return events
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> None:
+    """Write a ``chrome://tracing`` / Perfetto loadable JSON file."""
+    document = {
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "spans": len(recorder.spans),
+            "instants": len(recorder.instants),
+            "dropped": recorder.dropped,
+        },
+        "traceEvents": chrome_trace_events(recorder),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+
+
+def write_jsonl(recorder: TraceRecorder, path: str) -> None:
+    """Write one JSON object per line: meta, spans, instants, samples."""
+    with open(path, "w", encoding="utf-8") as fh:
+        meta = {
+            "type": "meta",
+            "time_unit": "ps",
+            "categories": recorder.categories(),
+            "spans": len(recorder.spans),
+            "instants": len(recorder.instants),
+            "dropped": recorder.dropped,
+        }
+        fh.write(json.dumps(meta) + "\n")
+        for cat, name, group, lane, start_ps, end_ps, args in recorder.spans:
+            row: Dict[str, Any] = {
+                "type": "span",
+                "cat": cat,
+                "name": name,
+                "group": group,
+                "lane": lane,
+                "start_ps": start_ps,
+                "end_ps": end_ps,
+            }
+            if args:
+                row["args"] = args
+            fh.write(json.dumps(row) + "\n")
+        for cat, name, group, ts_ps, args in recorder.instants:
+            row = {
+                "type": "instant",
+                "cat": cat,
+                "name": name,
+                "group": group,
+                "ts_ps": ts_ps,
+            }
+            if args:
+                row["args"] = args
+            fh.write(json.dumps(row) + "\n")
+        for sampler in recorder.samplers:
+            for t_ps, deltas in sampler.samples:
+                fh.write(
+                    json.dumps(
+                        {
+                            "type": "sample",
+                            "t_ps": t_ps,
+                            "window_ps": sampler.window_ps,
+                            "deltas": deltas,
+                        }
+                    )
+                    + "\n"
+                )

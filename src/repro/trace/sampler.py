@@ -1,0 +1,103 @@
+"""Windowed time-series sampling of :class:`~repro.sim.stats.StatRegistry`.
+
+A :class:`TimeSeriesSampler` turns the registry's monotonically growing
+counters into per-interval curves: every ``window_ps`` of simulated time
+it snapshots the counters and stores the deltas, so bandwidth
+(``*.bytes`` deltas per window), retry rates (``dl.retransmissions``
+deltas), and occupancy-style counters all become plottable series instead
+of end-of-run totals.
+
+The sampler is driven by the simulator event loop through
+:meth:`TraceRecorder.on_time_advance` — it injects no events of its own,
+so it cannot perturb ``run(until=...)`` horizons, deadlock detection, or
+the final simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: picoseconds per nanosecond (rate conversions).
+_PS_PER_NS = 1000.0
+
+
+class TimeSeriesSampler:
+    """Snapshots counter deltas at fixed simulated-time windows."""
+
+    def __init__(
+        self,
+        stats,
+        window_ps: int,
+        prefixes: Optional[Iterable[str]] = None,
+    ) -> None:
+        if window_ps <= 0:
+            raise SimulationError(f"sampler window must be positive, got {window_ps}")
+        self.stats = stats
+        self.window_ps = window_ps
+        #: optional dotted-component prefixes restricting which counters
+        #: are tracked (None tracks everything).
+        self.prefixes = tuple(prefixes) if prefixes else None
+        #: (window_end_ps, {counter: delta}) per completed window.
+        self.samples: List[Tuple[int, Dict[str, float]]] = []
+        self._last: Dict[str, float] = {}
+        self._next_boundary = window_ps
+        self._finalized_at: Optional[int] = None
+
+    def _snapshot(self) -> Dict[str, float]:
+        if self.prefixes is None:
+            return self.stats.counters()
+        merged: Dict[str, float] = {}
+        for prefix in self.prefixes:
+            merged.update(self.stats.counters(prefix))
+        return merged
+
+    def _emit(self, boundary_ps: int) -> None:
+        snap = self._snapshot()
+        deltas = {
+            key: value - self._last.get(key, 0.0)
+            for key, value in snap.items()
+            if value != self._last.get(key, 0.0)
+        }
+        self.samples.append((boundary_ps, deltas))
+        self._last = snap
+
+    def on_time_advance(self, now_ps: int) -> None:
+        """Emit one sample per window boundary crossed by this advance."""
+        while now_ps >= self._next_boundary:
+            self._emit(self._next_boundary)
+            self._next_boundary += self.window_ps
+
+    def finalize(self, now_ps: int) -> None:
+        """Emit the trailing partial window (idempotent per end time)."""
+        if self._finalized_at == now_ps:
+            return
+        self._finalized_at = now_ps
+        if now_ps > self._next_boundary - self.window_ps:
+            self._emit(now_ps)
+            self._next_boundary = now_ps + self.window_ps
+
+    # -- series extraction -----------------------------------------------------
+
+    def series(self, name: str) -> List[Tuple[int, float]]:
+        """(window_end_ps, delta) for one counter across all windows."""
+        return [(t, deltas.get(name, 0.0)) for t, deltas in self.samples]
+
+    def rate_series(self, name: str) -> List[Tuple[int, float]]:
+        """(window_end_ps, delta per ns) — for byte counters this is GB/s."""
+        scale = _PS_PER_NS / self.window_ps
+        return [(t, delta * scale) for t, delta in self.series(name)]
+
+    def tracked_names(self) -> List[str]:
+        """Every counter that changed in at least one window."""
+        names = set()
+        for _t, deltas in self.samples:
+            names.update(deltas)
+        return sorted(names)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeriesSampler(window_ps={self.window_ps}, "
+            f"samples={len(self.samples)})"
+        )

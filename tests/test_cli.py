@@ -1,14 +1,40 @@
 """Tests for the dimmlink-repro CLI."""
 
+import json
+
 import pytest
 
-from repro.experiments.cli import experiment_names, main
+from repro.experiments.cli import (
+    _SIZED,
+    _UNSIZED,
+    experiment_names,
+    main,
+    traceable_names,
+)
 
 
 def test_experiment_names_cover_all_figures():
     names = experiment_names()
     for expected in ("fig1", "fig10", "fig14", "table1", "table2", "mapping", "all"):
         assert expected in names
+
+
+def test_every_experiment_name_resolves_to_a_callable():
+    for name in experiment_names():
+        if name == "all":
+            continue
+        runner = _SIZED.get(name) or _UNSIZED.get(name)
+        assert callable(runner), f"{name} has no runner"
+
+
+def test_all_covers_exactly_the_union_of_dispatch_tables():
+    assert not set(_SIZED) & set(_UNSIZED)
+    assert set(experiment_names()) == set(_SIZED) | set(_UNSIZED) | {"all"}
+
+
+def test_traceable_names_are_experiment_names_minus_all():
+    assert traceable_names() == [n for n in experiment_names() if n != "all"]
+    assert "all" not in traceable_names()
 
 
 def test_cli_runs_unsized_experiment(capsys):
@@ -31,3 +57,47 @@ def test_cli_rejects_unknown_experiment():
 def test_cli_rejects_unknown_size():
     with pytest.raises(SystemExit):
         main(["fig11", "--size", "huge"])
+
+
+def test_cli_rejects_target_without_trace_command():
+    with pytest.raises(SystemExit):
+        main(["fig11", "fig10"])
+
+
+def test_cli_trace_rejects_missing_or_bad_target():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+    with pytest.raises(SystemExit):
+        main(["trace", "all"])
+    with pytest.raises(SystemExit):
+        main(["trace", "fig99"])
+
+
+def test_cli_trace_emits_valid_chrome_trace(tmp_path, capsys):
+    # table1 traces the cheapest scenario (4D-2C kmeans); golden-schema
+    # check on the emitted Chrome trace document
+    assert main(["trace", "table1", "--size", "tiny", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "spans by category" in out
+
+    chrome_path = tmp_path / "table1-tiny.trace.json"
+    jsonl_path = tmp_path / "table1-tiny.trace.jsonl"
+    assert chrome_path.exists() and jsonl_path.exists()
+
+    doc = json.loads(chrome_path.read_text())
+    assert set(doc) == {"displayTimeUnit", "otherData", "traceEvents"}
+    assert doc["displayTimeUnit"] == "ns"
+    events = doc["traceEvents"]
+    assert events
+    for event in events:
+        assert event["ph"] in ("M", "X", "i", "C")
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+    # complete spans from at least the dram + nmp layers on this tiny run
+    cats = {event.get("cat") for event in events if event["ph"] == "X"}
+    assert {"dram", "nmp"} <= cats
+
+    meta = json.loads(jsonl_path.read_text().splitlines()[0])
+    assert meta["type"] == "meta"
+    assert meta["spans"] == doc["otherData"]["spans"]

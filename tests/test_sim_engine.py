@@ -42,6 +42,31 @@ def test_run_until_stops_clock():
     assert fired
 
 
+def test_run_until_advances_clock_when_queue_drains_early():
+    # regression: if the queue emptied before the horizon, ``now`` stayed at
+    # the last event time, making bytes/elapsed denominators inconsistent
+    # with runs where the horizon cut the queue off
+    sim = Simulator()
+    sim.schedule(10, lambda _: None)
+    assert sim.run(until=100) == 100
+    assert sim.now == 100
+
+
+def test_run_until_advances_clock_on_empty_queue():
+    sim = Simulator()
+    assert sim.run(until=75) == 75
+    assert sim.now == 75
+
+
+def test_run_until_never_moves_clock_backwards():
+    sim = Simulator()
+    sim.schedule(50, lambda _: None)
+    sim.run()
+    assert sim.now == 50
+    assert sim.run(until=20) == 50
+    assert sim.now == 50
+
+
 def test_process_sleep_and_return_value():
     sim = Simulator()
 

@@ -66,6 +66,60 @@ def test_histogram_log2_buckets():
     assert buckets[10] == 1
 
 
+def test_histogram_subunit_values_do_not_alias_nonpositive_bucket():
+    # regression: values in (0, 1) floor to negative log2 buckets; bucket -1
+    # (values in [0.5, 1)) used to collide with the <=0 sentinel, corrupting
+    # latency-distribution tails
+    hist = Histogram()
+    hist.record(0.5)   # log2 bucket -1
+    hist.record(0.75)  # log2 bucket -1
+    hist.record(0.25)  # log2 bucket -2
+    hist.record(0.0)   # non-positive sentinel
+    hist.record(-3.0)  # non-positive sentinel
+    buckets = dict(hist.buckets())
+    assert buckets[-1] == 2
+    assert buckets[-2] == 1
+    assert buckets[Histogram.NONPOS_BUCKET] == 2
+    assert Histogram.NONPOS_BUCKET not in (-1, -2)
+
+
+def test_histogram_nonpositive_sentinel_sorts_first():
+    hist = Histogram()
+    hist.record(0)
+    hist.record(4)
+    assert hist.buckets() == [(Histogram.NONPOS_BUCKET, 1), (2, 1)]
+
+
+def test_counters_prefix_matches_whole_components():
+    # regression: prefix "dl" used to substring-match "dlx.foo" too
+    stats = StatRegistry()
+    stats.add("dl", 1)
+    stats.add("dl.hops", 2)
+    stats.add("dl.hop_bytes", 4)
+    stats.add("dlx.foo", 8)
+    assert set(stats.counters("dl")) == {"dl", "dl.hops", "dl.hop_bytes"}
+    assert stats.sum("dl") == 7
+    assert set(stats.counters("dlx")) == {"dlx.foo"}
+    assert stats.counters("") == {
+        "dl": 1,
+        "dl.hops": 2,
+        "dl.hop_bytes": 4,
+        "dlx.foo": 8,
+    }
+
+
+def test_counters_prefix_with_trailing_dot_and_scopes():
+    stats = StatRegistry()
+    stats.add("dimm0.bytes", 1)
+    stats.add("dimm01.bytes", 2)
+    assert set(stats.counters("dimm0.")) == {"dimm0.bytes"}
+    scoped = stats.scope("dimm0")
+    # a scoped registry's implicit prefix ends with "." and must not leak
+    # the lexically-adjacent "dimm01." keys
+    assert set(scoped.counters()) == {"dimm0.bytes"}
+    assert scoped.sum("") == 1
+
+
 def test_histogram_via_registry_is_cached():
     stats = StatRegistry()
     h1 = stats.histogram("lat")
