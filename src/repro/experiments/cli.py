@@ -3,8 +3,17 @@
 Installed as ``dimmlink-repro``::
 
     dimmlink-repro fig10 --size small
-    dimmlink-repro all   --size tiny
+    dimmlink-repro all   --size tiny --jobs 4
+    dimmlink-repro fig16 --size tiny --cache-dir /tmp/dl-cache
     dimmlink-repro trace fig10 --size tiny --out traces/
+
+Simulation grids execute through the sweep runner: ``--jobs N`` fans
+cache misses out over N worker processes, and finished results persist
+under ``--cache-dir`` (default ``.dimmlink-cache``) so re-runs — and
+grid points shared between figures — skip simulation entirely.  The
+``cache.hits``/``cache.misses`` line printed after each command reports
+how much work the cache absorbed; ``--no-cache`` forces every point to
+re-simulate.
 """
 
 from __future__ import annotations
@@ -31,6 +40,10 @@ from repro.experiments import (
     table2_serdes,
     trace_run,
 )
+from repro.experiments import runner as sweep_runner
+
+#: default on-disk results cache location (relative to the working dir).
+DEFAULT_CACHE_DIR = ".dimmlink-cache"
 
 #: experiment name -> main(size) callable (or main() for size-less ones).
 _SIZED: Dict[str, Callable[[str], None]] = {
@@ -99,7 +112,26 @@ def main(argv=None) -> int:
         default=trace_run.DEFAULT_WINDOW_NS,
         help="time-series sampler window in simulated ns (trace command only)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation grids (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"persistent results-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the results cache: re-simulate every grid point",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.experiment == "trace":
         if args.target is None or args.target not in traceable_names():
@@ -113,19 +145,37 @@ def main(argv=None) -> int:
     if args.target is not None:
         parser.error("a second positional is only valid with the 'trace' command")
 
-    if args.experiment == "all":
-        for name, runner in sorted(_UNSIZED.items()):
-            print(f"\n=== {name} ===")
-            runner()
-        for name, runner in sorted(_SIZED.items()):
-            print(f"\n=== {name} (size={args.size}) ===")
-            runner(args.size)
-        return 0
-    if args.experiment in _UNSIZED:
-        _UNSIZED[args.experiment]()
-    else:
-        _SIZED[args.experiment](args.size)
+    previous_runner = sweep_runner.get_runner()
+    grid_runner = sweep_runner.configure(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    try:
+        if args.experiment == "all":
+            for name, entry in sorted(_UNSIZED.items()):
+                print(f"\n=== {name} ===")
+                entry()
+            for name, entry in sorted(_SIZED.items()):
+                print(f"\n=== {name} (size={args.size}) ===")
+                entry(args.size)
+        elif args.experiment in _UNSIZED:
+            _UNSIZED[args.experiment]()
+        else:
+            _SIZED[args.experiment](args.size)
+    finally:
+        sweep_runner.set_runner(previous_runner)
+    _print_cache_stats(grid_runner)
     return 0
+
+
+def _print_cache_stats(grid_runner: "sweep_runner.SweepRunner") -> None:
+    """One machine-parseable line: how much work the cache absorbed."""
+    stats = grid_runner.stats
+    hits, misses = stats["cache.hits"], stats["cache.misses"]
+    total = hits + misses
+    rate = f" ({hits / total:.0%} hit rate)" if total else ""
+    print(f"\n[cache] cache.hits={hits} cache.misses={misses}{rate}")
 
 
 if __name__ == "__main__":

@@ -10,17 +10,12 @@ grid; :func:`summary` recomputes them from the rows.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table, geomean
-from repro.config import PAPER_CONFIG_NAMES, SystemConfig
-from repro.experiments.common import (
-    P2P_WORKLOADS,
-    build_workload,
-    run_cpu,
-    run_nmp,
-    run_optimized,
-)
+from repro.config import PAPER_CONFIG_NAMES
+from repro.experiments.common import P2P_WORKLOADS
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 
 #: systems compared in the bar plot (cpu is the common denominator).
 SYSTEMS = ("mcn", "aim", "dl_base", "dl_opt")
@@ -29,21 +24,58 @@ SYSTEMS = ("mcn", "aim", "dl_base", "dl_opt")
 CPU_REFERENCE_CONFIG = "16D-8C"
 
 
+def specs(
+    size: str = "small",
+    config_names: Sequence[str] = PAPER_CONFIG_NAMES,
+    workload_names: Sequence[str] = P2P_WORKLOADS,
+) -> List[RunSpec]:
+    """The grid as a flat spec list: cpu + (mcn, aim, dl_base, dl_opt)
+    per (workload, config), in row order."""
+    grid: List[RunSpec] = []
+    for workload_name in workload_names:
+        grid.append(
+            RunSpec(
+                config=CPU_REFERENCE_CONFIG,
+                workload=workload_name,
+                size=size,
+                kind="cpu",
+                mechanism="cpu",
+            )
+        )
+        for config_name in config_names:
+            for mechanism in ("mcn", "aim", "dimm_link"):
+                grid.append(
+                    RunSpec(
+                        config=config_name,
+                        workload=workload_name,
+                        size=size,
+                        mechanism=mechanism,
+                    )
+                )
+            grid.append(
+                RunSpec(
+                    config=config_name,
+                    workload=workload_name,
+                    size=size,
+                    kind="optimized",
+                )
+            )
+    return grid
+
+
 def run(
     size: str = "small",
     config_names: Sequence[str] = PAPER_CONFIG_NAMES,
     workload_names: Sequence[str] = P2P_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Produce one row per (config, workload) with per-system speedups."""
+    results = iter(run_specs(specs(size, config_names, workload_names), runner))
     rows: List[Dict[str, object]] = []
     for workload_name in workload_names:
-        workload = build_workload(workload_name, size)
-        cpu = run_cpu(SystemConfig.named(CPU_REFERENCE_CONFIG), workload)
+        cpu = next(results)
         for config_name in config_names:
-            mcn = run_nmp(SystemConfig.named(config_name), workload, "mcn")
-            aim = run_nmp(SystemConfig.named(config_name), workload, "aim")
-            base = run_nmp(SystemConfig.named(config_name), workload, "dimm_link")
-            opt = run_optimized(SystemConfig.named(config_name), workload)
+            mcn, aim, base, opt = (next(results) for _ in range(4))
             rows.append(
                 {
                     "config": config_name,

@@ -8,23 +8,35 @@ of IDC traffic still crosses the host.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.config import SystemConfig
-from repro.experiments.common import P2P_WORKLOADS, build_workload, run_optimized
+from repro.experiments.common import P2P_WORKLOADS
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
+
+
+def specs(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = P2P_WORKLOADS,
+) -> List[RunSpec]:
+    """One DL-opt run per workload."""
+    return [
+        RunSpec(config=config_name, workload=name, size=size, kind="optimized")
+        for name in workload_names
+    ]
 
 
 def run(
     size: str = "small",
     config_name: str = "16D-8C",
     workload_names: Sequence[str] = P2P_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """One row per workload with byte shares by path."""
+    results = run_specs(specs(size, config_name, workload_names), runner)
     rows = []
-    for name in workload_names:
-        workload = build_workload(name, size)
-        result = run_optimized(SystemConfig.named(config_name), workload)
+    for name, result in zip(workload_names, results):
         breakdown = result.traffic_breakdown
         total = sum(breakdown.values()) or 1.0
         rows.append(

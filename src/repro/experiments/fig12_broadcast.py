@@ -10,11 +10,11 @@ ABC-DIMM > MCN-BC, with ABC-DIMM's edge over MCN-BC modest at low DPC.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table, geomean
-from repro.config import SystemConfig
-from repro.experiments.common import BC_WORKLOADS, build_workload, run_nmp
+from repro.experiments.common import BC_WORKLOADS
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 
 #: mechanisms compared (column order of the figure).
 SYSTEMS = ("mcn", "abc", "aim", "dimm_link")
@@ -23,20 +23,32 @@ SYSTEMS = ("mcn", "abc", "aim", "dimm_link")
 DPC_CONFIGS = (("2DPC", "16D-8C"), ("3DPC", "12D-4C"))
 
 
+def specs(
+    size: str = "small",
+    dpc_configs: Sequence = DPC_CONFIGS,
+    workload_names: Sequence[str] = BC_WORKLOADS,
+) -> List[RunSpec]:
+    """The grid as a flat spec list: one run per (dpc, workload, system)."""
+    return [
+        RunSpec(config=config_name, workload=workload_name, size=size, mechanism=system)
+        for _dpc_name, config_name in dpc_configs
+        for workload_name in workload_names
+        for system in SYSTEMS
+    ]
+
+
 def run(
     size: str = "small",
     dpc_configs: Sequence = DPC_CONFIGS,
     workload_names: Sequence[str] = BC_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per (dpc, workload) with speedups over MCN-BC."""
+    batch = iter(run_specs(specs(size, dpc_configs, workload_names), runner))
     rows = []
     for dpc_name, config_name in dpc_configs:
         for workload_name in workload_names:
-            workload = build_workload(workload_name, size)
-            results = {
-                system: run_nmp(SystemConfig.named(config_name), workload, system)
-                for system in SYSTEMS
-            }
+            results = {system: next(batch) for system in SYSTEMS}
             mcn_time = results["mcn"].total_ps
             rows.append(
                 {

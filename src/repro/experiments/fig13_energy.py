@@ -9,31 +9,49 @@ energy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table, geomean
 from repro.config import SystemConfig
 from repro.energy.accounting import energy_report
-from repro.experiments.common import P2P_WORKLOADS, build_workload, run_nmp, run_optimized
+from repro.experiments.common import P2P_WORKLOADS
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 
 SYSTEMS = ("mcn", "aim", "dl_opt")
+
+
+def specs(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = P2P_WORKLOADS,
+) -> List[RunSpec]:
+    """The grid as a flat spec list: (mcn, aim, dl_opt) per workload."""
+    grid: List[RunSpec] = []
+    for workload_name in workload_names:
+        grid.append(
+            RunSpec(config=config_name, workload=workload_name, size=size, mechanism="mcn")
+        )
+        grid.append(
+            RunSpec(config=config_name, workload=workload_name, size=size, mechanism="aim")
+        )
+        grid.append(
+            RunSpec(config=config_name, workload=workload_name, size=size, kind="optimized")
+        )
+    return grid
 
 
 def run(
     size: str = "small",
     config_name: str = "16D-8C",
     workload_names: Sequence[str] = P2P_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per workload with per-system total and IDC energy (J)."""
     config = SystemConfig.named(config_name)
+    batch = iter(run_specs(specs(size, config_name, workload_names), runner))
     rows = []
     for workload_name in workload_names:
-        workload = build_workload(workload_name, size)
-        results = {
-            "mcn": run_nmp(SystemConfig.named(config_name), workload, "mcn"),
-            "aim": run_nmp(SystemConfig.named(config_name), workload, "aim"),
-            "dl_opt": run_optimized(SystemConfig.named(config_name), workload),
-        }
+        results = {"mcn": next(batch), "aim": next(batch), "dl_opt": next(batch)}
         row: Dict[str, object] = {"workload": workload_name}
         for system, result in results.items():
             report = energy_report(config=config, result=result, polling=result.polling)

@@ -10,13 +10,11 @@ has the lowest occupation of all (paper: 0.2%).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table, geomean
-from repro.config import SystemConfig
-from repro.experiments.common import build_workload, threads_for
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 from repro.host.polling import POLLING_STRATEGIES
-from repro.nmp.system import NMPSystem
 
 #: paper labels for the strategies.
 LABELS = {
@@ -27,25 +25,35 @@ LABELS = {
 }
 
 
+def specs(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = ("pagerank", "bfs"),
+    strategies: Sequence[str] = POLLING_STRATEGIES,
+) -> List[RunSpec]:
+    """The grid as a flat spec list: one run per (workload, strategy)."""
+    return [
+        RunSpec(config=config_name, workload=workload_name, size=size, polling=strategy)
+        for workload_name in workload_names
+        for strategy in strategies
+    ]
+
+
 def run(
     size: str = "small",
     config_name: str = "16D-8C",
     workload_names: Sequence[str] = ("pagerank", "bfs"),
     strategies: Sequence[str] = POLLING_STRATEGIES,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per (workload, strategy): time and bus occupation."""
-    config = SystemConfig.named(config_name)
+    results = iter(
+        run_specs(specs(size, config_name, workload_names, strategies), runner)
+    )
     rows = []
     for workload_name in workload_names:
-        workload = build_workload(workload_name, size)
         for strategy in strategies:
-            system = NMPSystem(
-                SystemConfig.named(config_name), idc="dimm_link", polling=strategy
-            )
-            result = system.run(
-                workload.thread_factories(threads_for(config), config.num_dimms),
-                workload_name=workload_name,
-            )
+            result = next(results)
             rows.append(
                 {
                     "workload": workload_name,

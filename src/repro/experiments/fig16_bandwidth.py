@@ -8,14 +8,46 @@ larger network diameter makes links the constraint.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table, geomean
-from repro.config import PAPER_CONFIG_NAMES, SystemConfig
-from repro.experiments.common import build_workload, run_cpu, run_nmp
+from repro.config import PAPER_CONFIG_NAMES
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 
 DEFAULT_BANDWIDTHS = (4.0, 8.0, 25.0, 64.0)
 DEFAULT_WORKLOADS = ("hotspot", "bfs", "pagerank")
+
+
+def specs(
+    size: str = "small",
+    bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS,
+    config_names: Sequence[str] = PAPER_CONFIG_NAMES,
+    workload_names: Sequence[str] = DEFAULT_WORKLOADS,
+) -> List[RunSpec]:
+    """The sweep as a flat spec list: per workload, the CPU reference
+    then one DIMM-Link run per (config, link bandwidth)."""
+    grid: List[RunSpec] = []
+    for workload_name in workload_names:
+        grid.append(
+            RunSpec(
+                config="16D-8C",
+                workload=workload_name,
+                size=size,
+                kind="cpu",
+                mechanism="cpu",
+            )
+        )
+        grid.extend(
+            RunSpec(
+                config=config_name,
+                workload=workload_name,
+                size=size,
+                link_gbps=gbps,
+            )
+            for config_name in config_names
+            for gbps in bandwidths
+        )
+    return grid
 
 
 def run(
@@ -23,17 +55,18 @@ def run(
     bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS,
     config_names: Sequence[str] = PAPER_CONFIG_NAMES,
     workload_names: Sequence[str] = DEFAULT_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per (config, bandwidth): geomean speedup over the CPU."""
+    results = iter(
+        run_specs(specs(size, bandwidths, config_names, workload_names), runner)
+    )
     rows = []
     for workload_name in workload_names:
-        workload = build_workload(workload_name, size)
-        cpu = run_cpu(SystemConfig.named("16D-8C"), workload)
+        cpu = next(results)
         for config_name in config_names:
             for gbps in bandwidths:
-                config = SystemConfig.named(config_name)
-                config.link = config.link.scaled(gbps)
-                result = run_nmp(config, workload, "dimm_link")
+                result = next(results)
                 rows.append(
                     {
                         "workload": workload_name,

@@ -8,14 +8,30 @@ network diameter.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table, geomean
 from repro.config import SystemConfig
-from repro.experiments.common import build_workload, run_nmp
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 from repro.interconnect.topology import TOPOLOGY_NAMES, Topology
 
 DEFAULT_WORKLOADS = ("pagerank", "bfs", "sssp")
+
+
+def specs(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = DEFAULT_WORKLOADS,
+    topologies: Sequence[str] = TOPOLOGY_NAMES,
+) -> List[RunSpec]:
+    """The grid as a flat spec list: one run per (workload, topology)."""
+    return [
+        RunSpec(
+            config=config_name, workload=workload_name, size=size, topology=topology
+        )
+        for workload_name in workload_names
+        for topology in topologies
+    ]
 
 
 def run(
@@ -23,14 +39,17 @@ def run(
     config_name: str = "16D-8C",
     workload_names: Sequence[str] = DEFAULT_WORKLOADS,
     topologies: Sequence[str] = TOPOLOGY_NAMES,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per (workload, topology) with the run time."""
+    results = iter(
+        run_specs(specs(size, config_name, workload_names, topologies), runner)
+    )
     rows = []
     for workload_name in workload_names:
-        workload = build_workload(workload_name, size)
         for topology in topologies:
+            result = next(results)
             config = SystemConfig.named(config_name, topology=topology)
-            result = run_nmp(config, workload, "dimm_link")
             rows.append(
                 {
                     "workload": workload_name,

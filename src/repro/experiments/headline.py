@@ -3,14 +3,20 @@
 Combines the Fig. 10 and Fig. 12 grids into the five numbers the paper
 leads with: DL-opt's geomean speedup over the CPU baseline and its
 ratios over MCN, AIM, DL-base, and ABC-DIMM.
+
+Both grids run as RunSpec batches through the sweep runner
+(:mod:`repro.experiments.runner`), so with a warm results cache the
+whole table is assembled without a single new simulation — ``headline``
+after ``fig10`` + ``fig12`` is pure cache replay.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.report import format_table
 from repro.experiments import fig10_p2p, fig12_broadcast
+from repro.experiments.runner import SweepRunner
 
 #: the paper's published values, for side-by-side reporting.
 PAPER = {
@@ -22,7 +28,9 @@ PAPER = {
 }
 
 
-def run(size: str = "small", quick: bool = False) -> Dict[str, float]:
+def run(
+    size: str = "small", quick: bool = False, runner: Optional[SweepRunner] = None
+) -> Dict[str, float]:
     """Measure all five headline quantities.
 
     ``quick=True`` trims the grids (two configs, two workloads) for
@@ -33,15 +41,17 @@ def run(size: str = "small", quick: bool = False) -> Dict[str, float]:
             size=size,
             config_names=("4D-2C", "16D-8C"),
             workload_names=("pagerank", "hotspot"),
+            runner=runner,
         )
         bc_rows = fig12_broadcast.run(
             size=size,
             dpc_configs=(("2DPC", "16D-8C"),),
             workload_names=("spmv_bc",),
+            runner=runner,
         )
     else:
-        p2p_rows = fig10_p2p.run(size=size)
-        bc_rows = fig12_broadcast.run(size=size)
+        p2p_rows = fig10_p2p.run(size=size, runner=runner)
+        bc_rows = fig12_broadcast.run(size=size, runner=runner)
     p2p = fig10_p2p.summary(p2p_rows)
     bc = fig12_broadcast.summary(bc_rows)
     return {

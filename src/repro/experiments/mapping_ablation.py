@@ -11,28 +11,43 @@ random vs optimized vs natural, plus the Algorithm-1 cost of each.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table, geomean
 from repro.config import SystemConfig
 from repro.experiments.common import build_workload, threads_for
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 from repro.mapping.placement import (
     cost_table,
     distance_aware_placement,
     distance_matrix,
     placement_cost,
+    random_placement,
 )
 from repro.mapping.profile import profile_traffic
-from repro.nmp.system import NMPSystem
+
+#: placement policies compared, in row order.
+POLICIES = ("random", "optimized")
 
 
-def random_placement(num_threads: int, num_dimms: int, per_dimm: int, seed: int = 7):
-    """A random feasible placement (<= per_dimm threads per DIMM)."""
-    rng = random.Random(seed)
-    slots = [d for d in range(num_dimms) for _ in range(per_dimm)]
-    rng.shuffle(slots)
-    return slots[:num_threads]
+def specs(
+    size: str = "small",
+    config_name: str = "16D-8C",
+    workload_names: Sequence[str] = ("pagerank", "hotspot"),
+    seed: int = 7,
+) -> List[RunSpec]:
+    """The ablation as a flat spec list: one run per (workload, policy)."""
+    return [
+        RunSpec(
+            config=config_name,
+            workload=workload_name,
+            size=size,
+            placement=policy,
+            placement_seed=seed,
+        )
+        for workload_name in workload_names
+        for policy in POLICIES
+    ]
 
 
 def run(
@@ -40,10 +55,14 @@ def run(
     config_name: str = "16D-8C",
     workload_names: Sequence[str] = ("pagerank", "hotspot"),
     seed: int = 7,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per workload: run time and Algorithm-1 cost per placement policy."""
+    results = iter(run_specs(specs(size, config_name, workload_names, seed), runner))
     out: Dict[str, Dict[str, float]] = {}
     for workload_name in workload_names:
+        # recompute the (cheap, deterministic) Algorithm-1 inputs so the
+        # rows can report the cost each policy's placement incurs
         workload = build_workload(workload_name, size)
         config = SystemConfig.named(config_name)
         threads = threads_for(config)
@@ -58,15 +77,10 @@ def run(
             "optimized": distance_aware_placement(traffic, config),
         }
         row: Dict[str, float] = {}
-        for policy, placement in placements.items():
-            system = NMPSystem(SystemConfig.named(config_name), idc="dimm_link")
-            result = system.run(
-                workload.thread_factories(threads, config.num_dimms),
-                placement=placement,
-                workload_name=workload_name,
-            )
+        for policy in POLICIES:
+            result = next(results)
             row[f"{policy}_us"] = result.time_us
-            row[f"{policy}_cost"] = placement_cost(placement, costs)
+            row[f"{policy}_cost"] = placement_cost(placements[policy], costs)
         row["speedup"] = row["random_us"] / row["optimized_us"]
         out[workload_name] = row
     return out

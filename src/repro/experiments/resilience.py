@@ -21,51 +21,31 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.config import SystemConfig
-from repro.faults import FaultSchedule, LinkDown
-from repro.interconnect.topology import Topology
+from repro.experiments.runner import (
+    FAULT_TIME_PS,
+    RunSpec,
+    SweepRunner,
+    link_down_schedule,
+    run_specs,
+)
 from repro.nmp.results import RunResult
-from repro.nmp.system import NMPSystem
-from repro.sim.time import ns
-from repro.workloads.microbench import UniformRandom
 
 DEFAULT_FRACTIONS = (0.0, 0.34, 0.67, 1.0)
 MECHANISMS = ("mcn", "aim", "abc", "dimm_link")
 
-#: injection time: late enough that traffic is in flight (the watchdog
-#: has to *detect* the failures, and early packets see a healthy net),
-#: early enough that most of the kernel runs degraded.
-FAULT_TIME_PS = ns(300)
+#: seed of the uniform-random IDC-stress kernel (spec-level, so every
+#: mechanism/fraction point replays the identical op streams).
+WORKLOAD_SEED = 11
 
-_OPS = {"tiny": 20, "small": 60, "large": 200}
-
-
-def link_down_schedule(
-    config: SystemConfig, fraction: float, time_ps: int = FAULT_TIME_PS
-) -> FaultSchedule:
-    """Kill the first ``round(fraction * edges)`` links of every group."""
-    faults = []
-    for group in config.groups:
-        topology = Topology(config.topology, len(group))
-        count = round(fraction * len(topology.edges))
-        for a, b in topology.edges[:count]:
-            faults.append(
-                LinkDown(time_ps=time_ps, dimm_a=group[a], dimm_b=group[b])
-            )
-    return FaultSchedule(faults)
-
-
-def _run(
-    config: SystemConfig,
-    workload: UniformRandom,
-    mechanism: str,
-    faults: Optional[FaultSchedule],
-) -> RunResult:
-    system = NMPSystem(config, idc=mechanism, faults=faults)
-    factories = workload.thread_factories(
-        config.num_dimms * config.nmp.cores_per_dimm, config.num_dimms
-    )
-    return system.run(factories, workload_name=workload.name)
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "MECHANISMS",
+    "FAULT_TIME_PS",
+    "link_down_schedule",
+    "specs",
+    "run",
+    "main",
+]
 
 
 def _idc_bytes(result: RunResult) -> float:
@@ -78,26 +58,42 @@ def _idc_bytes(result: RunResult) -> float:
     )
 
 
+def specs(
+    size: str = "small",
+    config_name: str = "8D-4C",
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> List[RunSpec]:
+    """The sweep as a flat spec list: one run per (mechanism, fraction)."""
+    return [
+        RunSpec(
+            config=config_name,
+            workload="uniform_random",
+            size=size,
+            seed=WORKLOAD_SEED,
+            mechanism=mechanism,
+            fault_fraction=fraction,
+        )
+        for mechanism in mechanisms
+        for fraction in fractions
+    ]
+
+
 def run(
     size: str = "small",
     config_name: str = "8D-4C",
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     mechanisms: Sequence[str] = MECHANISMS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per (mechanism, failed-link fraction)."""
-    workload = UniformRandom(
-        ops_per_thread=_OPS.get(size, 60),
-        remote_fraction=0.6,
-        write_fraction=0.3,
-        nbytes=512,
-        seed=11,
+    results = iter(
+        run_specs(specs(size, config_name, fractions, mechanisms), runner)
     )
     rows = []
     for mechanism in mechanisms:
         for fraction in fractions:
-            config = SystemConfig.named(config_name)
-            schedule = link_down_schedule(config, fraction)
-            result = _run(config, workload, mechanism, schedule)
+            result = next(results)
             gbps = _idc_bytes(result) / result.time_ps * 1000.0  # B/ps -> GB/s
             rows.append(
                 {

@@ -1,0 +1,329 @@
+"""Declarative sweep execution: RunSpec grids, caching, and fan-out.
+
+Every figure experiment is a grid of *independent* simulations.  This
+module turns each grid point into a :class:`RunSpec` — a frozen, hashable
+description of one run (config + overrides, workload, size, seed,
+mechanism, polling, sync mode, run kind) — and executes whole grids
+through one funnel, :func:`run_specs`, which adds two things the ad-hoc
+loops could not:
+
+* **Memoisation** — specs content-hash to a stable key
+  (:meth:`RunSpec.cache_key`); finished results persist in a
+  :class:`~repro.results_cache.ResultsCache`, so identical points shared
+  between figures (and between repeated invocations) simulate once.
+* **Parallelism** — cache misses fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers).
+  Results always come back in input order, and because every simulation
+  is bit-deterministic (see ``tests/test_determinism.py``) the output is
+  byte-identical whatever the worker count.
+
+The CLI configures a process-wide default runner (:func:`configure`);
+experiments call :func:`run_specs` and inherit its jobs/cache settings.
+Library callers that never configure anything get the safe default:
+serial execution, no cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    build_workload,
+    run_cpu,
+    run_optimized,
+    threads_for,
+)
+from repro.faults import FaultSchedule, LinkDown
+from repro.interconnect.topology import Topology
+from repro.mapping.placement import distance_aware_placement, random_placement
+from repro.mapping.profile import profile_traffic
+from repro.nmp.results import RunResult
+from repro.nmp.system import NMPSystem
+from repro.results_cache import CODE_VERSION, ResultsCache
+from repro.sim.time import ns
+from repro.workloads.base import Workload
+from repro.workloads.microbench import UniformRandom
+
+_KINDS = ("cpu", "nmp", "optimized")
+_PLACEMENTS = ("natural", "random", "optimized")
+
+#: ops per thread of the ``uniform_random`` IDC-stress kernel, by size.
+UNIFORM_OPS = {"tiny": 20, "small": 60, "large": 200}
+
+#: fault-injection time of spec-driven link-down schedules: late enough
+#: that traffic is in flight, early enough that most of the kernel runs
+#: degraded (matches the resilience experiment).
+FAULT_TIME_PS = ns(300)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, fully determined by its field values.
+
+    Two specs with equal fields produce bit-identical results (the
+    determinism suite enforces this), which is what makes the content
+    hash a sound cache key.
+    """
+
+    #: paper-style config name, e.g. ``"16D-8C"``.
+    config: str
+    #: workload registry name (``build_workload``) or ``"uniform_random"``.
+    workload: str
+    size: str = "small"
+    #: workload generation seed.
+    seed: int = 42
+    #: ``"cpu"`` (host baseline), ``"nmp"``, or ``"optimized"`` (DL-opt
+    #: flow: profile -> Algorithm 1 placement -> run, profiling charged).
+    kind: str = "nmp"
+    #: IDC mechanism for NMP kinds (ignored for cpu).
+    mechanism: str = "dimm_link"
+    #: polling strategy override (``None`` = mechanism default).
+    polling: Optional[str] = None
+    sync_mode: str = "hierarchical"
+    #: DL-group topology.
+    topology: str = "half_ring"
+    #: per-link bandwidth override in GB/s (``None`` = Table II default).
+    link_gbps: Optional[float] = None
+    #: thread placement policy for ``kind="nmp"``: ``"natural"`` block
+    #: placement, ``"random"`` (seeded), or ``"optimized"`` (Algorithm 1
+    #: placement *without* the profiling charge of ``kind="optimized"``).
+    placement: str = "natural"
+    placement_seed: int = 7
+    #: fraction of each DL group's bridge links killed mid-run (0 = no
+    #: fault schedule installed).
+    fault_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigError(f"unknown run kind {self.kind!r}; choose from {_KINDS}")
+        if self.placement not in _PLACEMENTS:
+            raise ConfigError(
+                f"unknown placement policy {self.placement!r}; "
+                f"choose from {_PLACEMENTS}"
+            )
+        if not 0.0 <= self.fault_fraction <= 1.0:
+            raise ConfigError(
+                f"fault_fraction {self.fault_fraction} outside [0, 1]"
+            )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """All fields, JSON-safe (also the content the cache key hashes)."""
+        return dataclasses.asdict(self)
+
+    def cache_key(self, code_version: int = CODE_VERSION) -> str:
+        """Stable SHA-256 content hash over every field + code version."""
+        payload = json.dumps(
+            {"spec": self.to_json_dict(), "code_version": code_version},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- spec execution ------------------------------------------------------------------
+
+
+def link_down_schedule(
+    config: SystemConfig, fraction: float, time_ps: int = FAULT_TIME_PS
+) -> FaultSchedule:
+    """Kill the first ``round(fraction * edges)`` links of every group."""
+    faults = []
+    for group in config.groups:
+        topology = Topology(config.topology, len(group))
+        count = round(fraction * len(topology.edges))
+        for a, b in topology.edges[:count]:
+            faults.append(
+                LinkDown(time_ps=time_ps, dimm_a=group[a], dimm_b=group[b])
+            )
+    return FaultSchedule(faults)
+
+
+def build_spec_config(spec: RunSpec) -> SystemConfig:
+    """Materialize the spec's system configuration."""
+    config = SystemConfig.named(spec.config, topology=spec.topology)
+    if spec.link_gbps is not None:
+        config.link = config.link.scaled(spec.link_gbps)
+    return config
+
+
+def build_spec_workload(spec: RunSpec) -> Workload:
+    """Materialize the spec's workload instance."""
+    if spec.workload == "uniform_random":
+        return UniformRandom(
+            ops_per_thread=UNIFORM_OPS.get(spec.size, UNIFORM_OPS["small"]),
+            remote_fraction=0.6,
+            write_fraction=0.3,
+            nbytes=512,
+            seed=spec.seed,
+        )
+    return build_workload(spec.workload, spec.size, seed=spec.seed)
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Simulate one spec from scratch (the cache-miss path)."""
+    config = build_spec_config(spec)
+    workload = build_spec_workload(spec)
+    if spec.kind == "cpu":
+        return run_cpu(config, workload)
+    if spec.kind == "optimized":
+        if spec.polling is None:
+            return run_optimized(config, workload, sync_mode=spec.sync_mode)
+        return run_optimized(
+            config, workload, polling=spec.polling, sync_mode=spec.sync_mode
+        )
+    threads = threads_for(config)
+    faults = (
+        link_down_schedule(config, spec.fault_fraction)
+        if spec.fault_fraction > 0.0
+        else None
+    )
+    system = NMPSystem(
+        config,
+        idc=spec.mechanism,
+        polling=spec.polling,
+        sync_mode=spec.sync_mode,
+        faults=faults,
+    )
+    placement: Optional[List[int]] = None
+    if spec.placement == "random":
+        placement = random_placement(
+            threads, config.num_dimms, config.nmp.cores_per_dimm, spec.placement_seed
+        )
+    elif spec.placement == "optimized":
+        traffic = profile_traffic(
+            workload.thread_factories(threads, config.num_dimms), config.num_dimms
+        )
+        placement = distance_aware_placement(traffic, config)
+    factories = workload.thread_factories(threads, config.num_dimms)
+    return system.run(factories, placement=placement, workload_name=workload.name)
+
+
+def _worker_init(parent_sys_path: List[str]) -> None:
+    # with a spawn/forkserver start method the worker re-imports repro;
+    # inherit the parent's import path so `src` layouts keep working
+    sys.path[:] = parent_sys_path
+
+
+# -- the runner ----------------------------------------------------------------------
+
+
+class SweepRunner:
+    """Executes RunSpec batches with memoisation and process fan-out."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[Union[ResultsCache, str]] = None,
+        use_cache: bool = True,
+        execute: Callable[[RunSpec], RunResult] = execute_spec,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = ResultsCache(cache) if isinstance(cache, str) else cache
+        self.use_cache = use_cache and self.cache is not None
+        self.execute = execute
+        #: specs served without simulating (disk hits + in-batch dedup).
+        self.hits = 0
+        #: simulations actually executed.
+        self.misses = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """The ``cache.*`` stats the CLI prints after a command."""
+        return {"cache.hits": self.hits, "cache.misses": self.misses}
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute a batch; results are ordered exactly like ``specs``.
+
+        With caching enabled, each distinct spec simulates at most once
+        per batch (duplicates share the result) and not at all when a
+        warm cache entry exists.  With caching disabled every spec
+        simulates, unconditionally.
+        """
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        if not self.use_cache:
+            executed = self._execute_batch(list(specs))
+            self.misses += len(executed)
+            return executed
+
+        miss_specs: List[RunSpec] = []
+        miss_keys: List[str] = []
+        index_of_key: Dict[str, int] = {}
+        pending: Dict[str, List[int]] = {}
+        for index, spec in enumerate(specs):
+            key = spec.cache_key()
+            if key in pending:  # in-batch duplicate: share the one run
+                pending[key].append(index)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+            pending[key] = [index]
+            index_of_key[key] = len(miss_specs)
+            miss_specs.append(spec)
+            miss_keys.append(key)
+
+        executed = self._execute_batch(miss_specs)
+        for key, spec, result in zip(miss_keys, miss_specs, executed):
+            self.cache.put(key, result, spec=spec.to_json_dict())
+            for index in pending[key]:
+                results[index] = result
+
+        self.misses += len(miss_specs)
+        self.hits += len(specs) - len(miss_specs)
+        return results  # type: ignore[return-value]
+
+    def _execute_batch(self, specs: List[RunSpec]) -> List[RunResult]:
+        """Run specs (order-preserving), in-process or across workers."""
+        if self.jobs == 1 or len(specs) <= 1:
+            return [self.execute(spec) for spec in specs]
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(specs)),
+            initializer=_worker_init,
+            initargs=(list(sys.path),),
+        ) as pool:
+            return list(pool.map(self.execute, specs))
+
+
+# -- process-wide default runner (configured by the CLI) -----------------------------
+
+_default_runner = SweepRunner()
+
+
+def configure(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> SweepRunner:
+    """Install (and return) the default runner experiments will use."""
+    global _default_runner
+    cache = ResultsCache(cache_dir) if (cache_dir and use_cache) else None
+    _default_runner = SweepRunner(jobs=jobs, cache=cache, use_cache=use_cache)
+    return _default_runner
+
+
+def get_runner() -> SweepRunner:
+    """The currently configured default runner."""
+    return _default_runner
+
+
+def set_runner(runner: SweepRunner) -> None:
+    """Install an already-built runner as the default (CLI restore path)."""
+    global _default_runner
+    _default_runner = runner
+
+
+def run_specs(
+    specs: Sequence[RunSpec], runner: Optional[SweepRunner] = None
+) -> List[RunResult]:
+    """Execute a spec batch on ``runner`` (default: the configured one)."""
+    return (runner or _default_runner).run(specs)

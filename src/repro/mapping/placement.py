@@ -10,6 +10,7 @@ the paper derives it from profiled inter-DIMM latencies.
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional
 
 import numpy as np
@@ -93,3 +94,13 @@ def distance_aware_placement(
     per_dimm = threads_per_dimm or config.nmp.cores_per_dimm
     costs = cost_table(traffic, distance_matrix(config))
     return solve_placement(costs, per_dimm)
+
+
+def random_placement(
+    num_threads: int, num_dimms: int, per_dimm: int, seed: int = 7
+) -> List[int]:
+    """A seeded random feasible placement (<= per_dimm threads per DIMM)."""
+    rng = random.Random(seed)
+    slots = [d for d in range(num_dimms) for _ in range(per_dimm)]
+    rng.shuffle(slots)
+    return slots[:num_threads]

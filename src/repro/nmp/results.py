@@ -1,4 +1,10 @@
-"""Run results: the measurements an experiment reads off a finished run."""
+"""Run results: the measurements an experiment reads off a finished run.
+
+A :class:`RunResult` round-trips through plain JSON dicts
+(:meth:`RunResult.to_json_dict` / :meth:`RunResult.from_json_dict`) so the
+sweep runner can persist finished simulations in the on-disk results
+cache and ship them across process boundaries losslessly.
+"""
 
 from __future__ import annotations
 
@@ -95,6 +101,37 @@ class RunResult:
     def counter(self, suffix: str) -> float:
         """Aggregate counter across scopes (convenience passthrough)."""
         return self.stats.sum_suffix(suffix)
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the full result, stats included."""
+        return {
+            "system_name": self.system_name,
+            "mechanism": self.mechanism,
+            "workload": self.workload,
+            "time_ps": self.time_ps,
+            "thread_end_ps": list(self.thread_end_ps),
+            "stats": self.stats.to_json_dict(),
+            "bus_occupancy": list(self.bus_occupancy),
+            "profile_ps": self.profile_ps,
+            "polling": self.polling,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a value-equal result from :meth:`to_json_dict` output."""
+        return cls(
+            system_name=str(data["system_name"]),
+            mechanism=str(data["mechanism"]),
+            workload=str(data["workload"]),
+            time_ps=int(data["time_ps"]),  # type: ignore[arg-type]
+            thread_end_ps=[int(v) for v in data["thread_end_ps"]],  # type: ignore[union-attr]
+            stats=StatRegistry.from_json_dict(data["stats"]),  # type: ignore[arg-type]
+            bus_occupancy=[float(v) for v in data["bus_occupancy"]],  # type: ignore[union-attr]
+            profile_ps=int(data["profile_ps"]),  # type: ignore[arg-type]
+            polling=str(data["polling"]),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,116 @@
+"""Persistent on-disk cache of finished simulation results.
+
+The sweep runner (:mod:`repro.experiments.runner`) memoises every
+simulation it executes: a :class:`~repro.experiments.runner.RunSpec`
+hashes to a stable content key, and the :class:`ResultsCache` maps that
+key to the serialized :class:`~repro.nmp.results.RunResult` on disk.
+
+Soundness rests on three properties, each enforced by tests:
+
+* **Determinism** — the simulator is bit-deterministic, so re-running a
+  spec always reproduces the cached result (``tests/test_determinism.py``).
+* **Content keying** — the key covers every field of the spec *and* a
+  code version (:data:`CODE_VERSION`); bump the version whenever a change
+  alters simulation semantics, and every stale entry becomes a miss.
+* **Crash safety** — entries are written to a temp file and atomically
+  renamed into place, so a killed run never leaves a truncated entry
+  that would later be served; unreadable/corrupt entries are treated as
+  misses and rewritten.
+
+Layout: one ``<key>.json`` file per entry under the cache directory,
+where ``<key>`` is the spec's SHA-256 content hash.  Each file carries
+the spec it answers for (debuggability) next to the result payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.nmp.results import RunResult
+
+#: bump whenever a change alters simulation semantics (timing models,
+#: stat names, workload generation, ...): every existing cache entry
+#: then misses and is transparently recomputed.
+CODE_VERSION = 1
+
+
+class ResultsCache:
+    """Maps content keys to :class:`RunResult` JSON files on disk."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: entries served from disk since construction.
+        self.hits = 0
+        #: lookups that found no (readable) entry.
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """The entry file a key maps to."""
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Any unreadable entry — missing, truncated, corrupt JSON, or a
+        payload that no longer matches the schema — counts as a miss;
+        the caller re-simulates and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = RunResult.from_json_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult, spec: Optional[Dict[str, object]] = None) -> Path:
+        """Persist a result under ``key`` (atomic write-then-rename)."""
+        path = self.path_for(key)
+        payload = {
+            "key": key,
+            "code_version": CODE_VERSION,
+            "spec": spec,
+            "result": result.to_json_dict(),
+        }
+        text = json.dumps(payload, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.cache_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.cache_dir.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultsCache({str(self.cache_dir)!r}, {len(self)} entries, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

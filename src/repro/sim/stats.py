@@ -4,6 +4,11 @@ A :class:`StatRegistry` is a flat namespace of named counters plus named
 histograms.  Components take a registry (or create a scoped child via
 :meth:`StatRegistry.scope`) and record events; experiment harnesses read
 the totals afterwards.
+
+Registries and histograms serialize to plain JSON dicts
+(:meth:`StatRegistry.to_json_dict` / :meth:`StatRegistry.from_json_dict`)
+so finished runs can be persisted by the results cache and compared
+byte-for-byte across processes.
 """
 
 from __future__ import annotations
@@ -48,6 +53,42 @@ class Histogram:
     def buckets(self) -> List[Tuple[int, int]]:
         """Sorted (log2-bucket, count) pairs."""
         return sorted(self._buckets.items())
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (bucket keys as a sorted pair list)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [[bucket, count] for bucket, count in self.buckets()],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_json_dict` output."""
+        hist = cls(str(data["name"]))
+        hist.count = int(data["count"])  # type: ignore[arg-type]
+        hist.total = float(data["total"])  # type: ignore[arg-type]
+        hist.min = None if data["min"] is None else float(data["min"])  # type: ignore[arg-type]
+        hist.max = None if data["max"] is None else float(data["max"])  # type: ignore[arg-type]
+        hist._buckets = {int(bucket): int(count) for bucket, count in data["buckets"]}  # type: ignore[union-attr]
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+            and self._buckets == other._buckets
+        )
 
     def __repr__(self) -> str:
         return (
@@ -125,16 +166,62 @@ class StatRegistry:
         }
 
     def sum(self, prefix: str) -> float:
-        """Sum of every counter under ``prefix``."""
-        return sum(self.counters(prefix).values())
+        """Sum of every counter under ``prefix``.
+
+        Sorted-key summation order, for the same round-trip stability
+        reason as :meth:`sum_suffix`.
+        """
+        return sum(v for _, v in sorted(self.counters(prefix).items()))
 
     def sum_suffix(self, suffix: str) -> float:
         """Sum of every counter (any scope) whose name ends with ``suffix``.
 
         Used to aggregate per-component counters such as
-        ``dimm3.core.busy_ps`` across the whole system.
+        ``dimm3.core.busy_ps`` across the whole system.  Summation runs in
+        sorted-key order so the aggregate is insertion-order independent:
+        a registry rebuilt from JSON (sorted keys) yields the exact same
+        float as the live registry it was serialized from.
         """
-        return sum(v for k, v in self._counters.items() if k.endswith(suffix))
+        return sum(v for k, v in sorted(self._counters.items()) if k.endswith(suffix))
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every counter and histogram.
+
+        Scoped views share their parent's storage, so serializing any
+        scope captures the whole registry; deserialization always yields
+        a root (prefix-less) registry.
+        """
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "histograms": {
+                k: self._histograms[k].to_json_dict()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "StatRegistry":
+        """Rebuild a root registry from :meth:`to_json_dict` output."""
+        registry = cls()
+        registry._counters = {
+            str(k): float(v) for k, v in data["counters"].items()  # type: ignore[union-attr]
+        }
+        registry._histograms = {
+            str(k): Histogram.from_json_dict(v)  # type: ignore[arg-type]
+            for k, v in data["histograms"].items()  # type: ignore[union-attr]
+        }
+        return registry
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatRegistry):
+            return NotImplemented
+        return (
+            self._prefix == other._prefix
+            and self._counters == other._counters
+            and self._histograms == other._histograms
+        )
 
     def __iter__(self) -> Iterator[Tuple[str, float]]:
         return iter(sorted(self._counters.items()))

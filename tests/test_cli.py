@@ -1,6 +1,7 @@
 """Tests for the dimmlink-repro CLI."""
 
 import json
+import re
 
 import pytest
 
@@ -11,6 +12,13 @@ from repro.experiments.cli import (
     main,
     traceable_names,
 )
+
+
+def cache_stats(output: str):
+    """Parse the ``[cache] cache.hits=H cache.misses=M`` line."""
+    match = re.search(r"\[cache\] cache\.hits=(\d+) cache\.misses=(\d+)", output)
+    assert match, f"no cache stat line in output:\n{output}"
+    return int(match.group(1)), int(match.group(2))
 
 
 def test_experiment_names_cover_all_figures():
@@ -38,15 +46,48 @@ def test_traceable_names_are_experiment_names_minus_all():
 
 
 def test_cli_runs_unsized_experiment(capsys):
-    assert main(["table2"]) == 0
+    assert main(["table2", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "SerDes" in out
 
 
-def test_cli_runs_sized_experiment(capsys):
-    assert main(["fig11", "--size", "tiny"]) == 0
+def test_cli_runs_sized_experiment(tmp_path, capsys):
+    assert main(["fig11", "--size", "tiny", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "breakdown" in out
+    hits, misses = cache_stats(out)
+    assert hits == 0 and misses > 0  # cold cache: everything simulated
+
+
+def test_cli_no_cache_reports_misses_and_writes_nothing(tmp_path, capsys):
+    assert main(["fig17", "--size", "tiny", "--no-cache"]) == 0
+    hits, misses = cache_stats(capsys.readouterr().out)
+    assert hits == 0 and misses > 0
+
+
+def test_cli_warm_cache_fig16_performs_zero_simulations(tmp_path, capsys):
+    # acceptance criterion: re-running `dimmlink-repro fig16 --size tiny`
+    # against a warm cache is pure replay — zero simulations
+    args = ["fig16", "--size", "tiny", "--jobs", "2", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold_out = capsys.readouterr().out
+    cold_hits, cold_misses = cache_stats(cold_out)
+    assert cold_misses > 0
+
+    assert main(args) == 0
+    warm_out = capsys.readouterr().out
+    warm_hits, warm_misses = cache_stats(warm_out)
+    assert warm_misses == 0  # zero simulations
+    assert warm_hits == cold_hits + cold_misses  # every point served
+
+    # byte-identical tables modulo the cache stat line itself
+    strip = lambda text: [l for l in text.splitlines() if "[cache]" not in l]
+    assert strip(warm_out) == strip(cold_out)
+
+
+def test_cli_jobs_must_be_positive():
+    with pytest.raises(SystemExit):
+        main(["fig17", "--size", "tiny", "--jobs", "0"])
 
 
 def test_cli_rejects_unknown_experiment():

@@ -1,0 +1,191 @@
+"""Cache-soundness suite: hits are value-equal and never re-simulate,
+keys cover every spec field + the code version, ``--no-cache`` bypasses,
+and corrupt entries degrade to misses instead of raising."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import RunSpec, SweepRunner
+from repro.nmp.results import RunResult
+from repro.results_cache import CODE_VERSION, ResultsCache
+from repro.sim.stats import StatRegistry
+
+
+def fake_result(spec: RunSpec) -> RunResult:
+    """A cheap synthetic result that still exercises the full schema."""
+    stats = StatRegistry()
+    stats.add("idc.local_bytes", 4096.0)
+    stats.scope("dimm0").add("core.busy_ps", 123456.0)
+    hist = stats.histogram("dl.packet_ns")
+    for value in (0.0, 0.5, 3.0, 700.0):
+        hist.record(value)
+    return RunResult(
+        system_name=spec.config,
+        mechanism=spec.mechanism,
+        workload=spec.workload,
+        time_ps=1_000_000 + spec.seed,
+        thread_end_ps=[900_000, 1_000_000 + spec.seed],
+        stats=stats,
+        bus_occupancy=[0.25, 0.125],
+        profile_ps=42,
+        polling="proxy",
+    )
+
+
+class CountingExecute:
+    """Wraps an execute function with a call counter."""
+
+    def __init__(self, func=fake_result):
+        self.func = func
+        self.calls = 0
+
+    def __call__(self, spec: RunSpec) -> RunResult:
+        self.calls += 1
+        return self.func(spec)
+
+
+SPEC = RunSpec(config="4D-2C", workload="pagerank", size="tiny")
+
+
+# -- hit behavior --------------------------------------------------------------------
+
+
+def test_hit_returns_value_equal_result_without_resimulating(tmp_path):
+    execute = CountingExecute()
+    runner = SweepRunner(cache=ResultsCache(tmp_path), execute=execute)
+    first = runner.run([SPEC])[0]
+    assert execute.calls == 1
+
+    warm = SweepRunner(cache=ResultsCache(tmp_path), execute=execute)
+    second = warm.run([SPEC])[0]
+    assert execute.calls == 1  # served from disk, no re-simulation
+    assert second == first  # value-equal, stats and histograms included
+    assert second is not first
+    assert warm.stats == {"cache.hits": 1, "cache.misses": 0}
+
+
+def test_in_batch_duplicates_simulate_once(tmp_path):
+    execute = CountingExecute()
+    runner = SweepRunner(cache=ResultsCache(tmp_path), execute=execute)
+    results = runner.run([SPEC, SPEC, SPEC])
+    assert execute.calls == 1
+    assert results[0] == results[1] == results[2]
+    assert runner.stats == {"cache.hits": 2, "cache.misses": 1}
+
+
+# -- key coverage --------------------------------------------------------------------
+
+
+def test_key_changes_on_every_spec_field():
+    variants = {
+        "config": "8D-4C",
+        "workload": "bfs",
+        "size": "small",
+        "seed": 43,
+        "kind": "optimized",
+        "mechanism": "mcn",
+        "polling": "baseline",
+        "sync_mode": "central",
+        "topology": "ring",
+        "link_gbps": 64.0,
+        "placement": "random",
+        "placement_seed": 8,
+        "fault_fraction": 0.5,
+    }
+    # every declared field has a variant above: extending RunSpec without
+    # extending this table fails here, not as a silent stale-cache bug
+    assert set(variants) == {f.name for f in dataclasses.fields(RunSpec)}
+    base_key = SPEC.cache_key()
+    for field, value in variants.items():
+        changed = dataclasses.replace(SPEC, **{field: value})
+        assert changed.cache_key() != base_key, f"key ignores field {field!r}"
+
+
+def test_key_changes_on_code_version_bump():
+    assert SPEC.cache_key(CODE_VERSION) != SPEC.cache_key(CODE_VERSION + 1)
+
+
+def test_key_is_stable_across_equal_specs():
+    assert SPEC.cache_key() == RunSpec(
+        config="4D-2C", workload="pagerank", size="tiny"
+    ).cache_key()
+
+
+def test_spec_rejects_nonsense():
+    with pytest.raises(ConfigError):
+        RunSpec(config="4D-2C", workload="bfs", kind="gpu")
+    with pytest.raises(ConfigError):
+        RunSpec(config="4D-2C", workload="bfs", placement="best")
+    with pytest.raises(ConfigError):
+        RunSpec(config="4D-2C", workload="bfs", fault_fraction=1.5)
+
+
+# -- bypass --------------------------------------------------------------------------
+
+
+def test_no_cache_bypasses_reads_and_writes(tmp_path):
+    execute = CountingExecute()
+    cache = ResultsCache(tmp_path)
+    runner = SweepRunner(cache=cache, use_cache=False, execute=execute)
+    runner.run([SPEC, SPEC])
+    runner.run([SPEC])
+    assert execute.calls == 3  # every spec re-simulates, duplicates included
+    assert len(cache) == 0  # and nothing was persisted
+    assert runner.stats == {"cache.hits": 0, "cache.misses": 3}
+
+
+# -- corruption ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        b"",  # truncated to nothing
+        b'{"key": "x", "result": {',  # cut mid-JSON
+        b"not json at all",
+        b'{"unexpected": "schema"}',  # valid JSON, wrong shape
+        b'{"result": {"time_ps": "NaNish"}}',  # schema half-right
+    ],
+)
+def test_corrupted_entries_are_misses_not_errors(tmp_path, corruption):
+    cache = ResultsCache(tmp_path)
+    key = SPEC.cache_key()
+    cache.put(key, fake_result(SPEC))
+    cache.path_for(key).write_bytes(corruption)
+
+    assert cache.get(key) is None
+    assert cache.misses == 1
+
+    # and the runner transparently re-simulates and repairs the entry
+    execute = CountingExecute()
+    runner = SweepRunner(cache=cache, execute=execute)
+    result = runner.run([SPEC])[0]
+    assert execute.calls == 1
+    assert cache.get(key) == result
+
+
+def test_missing_entry_is_a_miss(tmp_path):
+    cache = ResultsCache(tmp_path)
+    assert cache.get("deadbeef" * 8) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+
+
+def test_put_is_atomic_and_leaves_no_temp_files(tmp_path):
+    cache = ResultsCache(tmp_path)
+    path = cache.put(SPEC.cache_key(), fake_result(SPEC))
+    assert path.exists()
+    assert list(tmp_path.glob("*.tmp")) == []
+    payload = json.loads(path.read_text())
+    assert payload["code_version"] == CODE_VERSION
+    assert RunResult.from_json_dict(payload["result"]) == fake_result(SPEC)
+
+
+def test_clear_empties_the_cache(tmp_path):
+    cache = ResultsCache(tmp_path)
+    cache.put(SPEC.cache_key(), fake_result(SPEC))
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
