@@ -17,6 +17,57 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 
 
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Structured so the sweep harness can report *where* a run hung:
+    ``blocked`` holds ``(process_name, waiting_on)`` pairs describing
+    every live process and the event/delay/condition it was suspended
+    on, and ``time_ps`` is the simulation time the queue drained at.
+    """
+
+    def __init__(self, message: str, blocked=None, time_ps: int = 0) -> None:
+        super().__init__(message)
+        self.blocked = list(blocked or [])
+        self.time_ps = time_ps
+
+
+class SimStallError(SimulationError):
+    """The simulation exceeded its wall-clock budget while still running.
+
+    Raised by the engine's stall watchdog; ``snapshot`` is a diagnostic
+    dict (simulated time, events processed, queue depth, blocked
+    processes) captured at the moment the budget expired.
+    """
+
+    def __init__(self, message: str, snapshot=None) -> None:
+        super().__init__(message)
+        self.snapshot = dict(snapshot or {})
+
+
+class SpecTimeoutError(ReproError):
+    """A spec exceeded its wall-clock budget outside the simulator.
+
+    The SIGALRM backstop behind the engine watchdog: fires when the
+    hang is in workload generation, placement, or any other phase the
+    simulator's own stall detector cannot see.
+    """
+
+
+class SweepExecutionError(ReproError):
+    """One or more specs of a sweep exhausted their retry budget.
+
+    Raised *after* the sweep finishes: every healthy spec has completed
+    and been checkpointed to the results cache by the time this
+    surfaces.  ``dead_letters`` lists the quarantined specs with their
+    attempt counts and final diagnoses.
+    """
+
+    def __init__(self, message: str, dead_letters=None) -> None:
+        super().__init__(message)
+        self.dead_letters = list(dead_letters or [])
+
+
 class ProtocolError(ReproError):
     """A DIMM-Link packet violated the protocol (bad field, CRC, size)."""
 

@@ -14,6 +14,14 @@ grid points shared between figures — skip simulation entirely.  The
 ``cache.hits``/``cache.misses`` line printed after each command reports
 how much work the cache absorbed; ``--no-cache`` forces every point to
 re-simulate.
+
+Sweeps are *supervised*: every finished grid point is checkpointed to
+the cache the moment it completes, so an interrupted run (Ctrl-C, OOM
+kill, crash) loses no finished work — rerun the same command and it
+resumes from the cache.  Failing points are retried (``--retries``,
+capped exponential backoff) and quarantined into a dead-letter report
+instead of aborting the sweep; ``--spec-timeout`` bounds each point's
+wall-clock time and reports *where* a hung simulation was stuck.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict
+
+from repro.errors import SweepExecutionError
 
 from repro.experiments import (
     disaggregated_memory,
@@ -129,9 +139,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="bypass the results cache: re-simulate every grid point",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts per failing grid point before it is "
+        "quarantined into the dead-letter report (default: 1)",
+    )
+    parser.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-grid-point wall-clock budget; a hung simulation is "
+        "cut off and reported with its blocked processes (default: none)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.spec_timeout is not None and args.spec_timeout <= 0:
+        parser.error("--spec-timeout must be positive")
 
     if args.experiment == "trace":
         if args.target is None or args.target not in traceable_names():
@@ -150,22 +180,49 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
+        retries=args.retries,
+        spec_timeout=args.spec_timeout,
     )
+    interrupted = False
+    failed_experiments = 0
     try:
         if args.experiment == "all":
             for name, entry in sorted(_UNSIZED.items()):
                 print(f"\n=== {name} ===")
-                entry()
+                failed_experiments += _run_entry(name, entry)
             for name, entry in sorted(_SIZED.items()):
                 print(f"\n=== {name} (size={args.size}) ===")
-                entry(args.size)
+                failed_experiments += _run_entry(name, entry, args.size)
         elif args.experiment in _UNSIZED:
-            _UNSIZED[args.experiment]()
+            failed_experiments += _run_entry(
+                args.experiment, _UNSIZED[args.experiment]
+            )
         else:
-            _SIZED[args.experiment](args.size)
+            failed_experiments += _run_entry(
+                args.experiment, _SIZED[args.experiment], args.size
+            )
+    except KeyboardInterrupt:
+        # finished grid points were checkpointed as they completed; the
+        # partial [cache] line below shows how much a rerun will reuse
+        interrupted = True
+        print("\ninterrupted — completed results are checkpointed; "
+              "rerun the same command to resume from the cache")
     finally:
         sweep_runner.set_runner(previous_runner)
     _print_cache_stats(grid_runner)
+    _print_dead_letters(grid_runner)
+    if interrupted:
+        return 130
+    return 1 if failed_experiments else 0
+
+
+def _run_entry(name: str, entry, *entry_args) -> int:
+    """Run one experiment; a quarantined sweep reports but doesn't abort."""
+    try:
+        entry(*entry_args)
+    except SweepExecutionError as exc:
+        print(f"[dead-letter] {name}: {exc}")
+        return 1
     return 0
 
 
@@ -176,6 +233,16 @@ def _print_cache_stats(grid_runner: "sweep_runner.SweepRunner") -> None:
     total = hits + misses
     rate = f" ({hits / total:.0%} hit rate)" if total else ""
     print(f"\n[cache] cache.hits={hits} cache.misses={misses}{rate}")
+
+
+def _print_dead_letters(grid_runner: "sweep_runner.SweepRunner") -> None:
+    """Quarantine report: which specs failed, how often, and where."""
+    letters = grid_runner.dead_letters
+    if not letters:
+        return
+    print(f"[dead-letter] {len(letters)} spec(s) quarantined:")
+    for letter in letters:
+        print(f"  - {letter.summary()}")
 
 
 if __name__ == "__main__":

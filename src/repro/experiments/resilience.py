@@ -14,6 +14,12 @@ Expected shape:
 * **CPU-forwarding (MCN), AIM, ABC-DIMM** are flat: they own no DL
   bridge, so DL-link faults do not apply to them (the schedule installs
   as a no-op).
+
+The sweep includes a deliberately tiny nonzero fraction (0.05): any
+nonzero ``fail_fraction`` kills at least one link per group (see
+:func:`~repro.experiments.runner.link_down_schedule`), so even the
+smallest injection point measures a real degraded run instead of
+silently replaying the fault-free one.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from repro.experiments.runner import (
 )
 from repro.nmp.results import RunResult
 
-DEFAULT_FRACTIONS = (0.0, 0.34, 0.67, 1.0)
+DEFAULT_FRACTIONS = (0.0, 0.05, 0.34, 0.67, 1.0)
 MECHANISMS = ("mcn", "aim", "abc", "dimm_link")
 
 #: seed of the uniform-random IDC-stress kernel (spec-level, so every

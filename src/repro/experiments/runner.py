@@ -16,6 +16,17 @@ loops could not:
   Results always come back in input order, and because every simulation
   is bit-deterministic (see ``tests/test_determinism.py``) the output is
   byte-identical whatever the worker count.
+* **Supervision** — long sweeps survive their own harness.  Each spec is
+  dispatched individually and **checkpointed to the cache the moment it
+  completes**, so an interrupted sweep resumes from the cache with zero
+  lost work.  Failed specs are retried with capped exponential backoff;
+  specs that exhaust their budget are quarantined into a **dead-letter
+  list** (:attr:`SweepRunner.dead_letters`) instead of aborting the
+  sweep.  A per-spec wall-clock timeout arms the simulation engine's
+  :class:`~repro.sim.engine.StallWatchdog` (rich where-did-it-hang
+  diagnosis) with a SIGALRM backstop for hangs outside the simulator.
+  A :class:`~concurrent.futures.process.BrokenProcessPool` respawns the
+  pool; if respawns keep dying, execution degrades to in-process serial.
 
 The CLI configures a process-wide default runner (:func:`configure`);
 experiments call :func:`run_specs` and inherit its jobs/cache settings.
@@ -28,13 +39,24 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import signal
 import sys
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.config import SystemConfig
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    SimStallError,
+    SpecTimeoutError,
+    SweepExecutionError,
+)
 from repro.experiments.common import (
     build_workload,
     run_cpu,
@@ -48,6 +70,7 @@ from repro.mapping.profile import profile_traffic
 from repro.nmp.results import RunResult
 from repro.nmp.system import NMPSystem
 from repro.results_cache import CODE_VERSION, ResultsCache
+from repro.sim.engine import StallWatchdog, clear_watchdog, install_watchdog
 from repro.sim.time import ns
 from repro.workloads.base import Workload
 from repro.workloads.microbench import UniformRandom
@@ -62,6 +85,23 @@ UNIFORM_OPS = {"tiny": 20, "small": 60, "large": 200}
 #: that traffic is in flight, early enough that most of the kernel runs
 #: degraded (matches the resilience experiment).
 FAULT_TIME_PS = ns(300)
+
+#: first retry delay; doubles per attempt up to :data:`RETRY_BACKOFF_CAP_S`.
+RETRY_BACKOFF_S = 0.05
+RETRY_BACKOFF_CAP_S = 2.0
+
+#: how far past ``spec_timeout`` the worker's SIGALRM backstop fires —
+#: the engine watchdog gets first shot so a hang *inside* the simulator
+#: reports its blocked processes before the coarse alarm triggers.
+ALARM_GRACE = 1.25
+
+#: extra wall-clock slack the parent grants an in-flight spec beyond the
+#: worker-side timeout before it declares the worker unresponsive and
+#: terminates the pool (last-resort reaper for non-Python hangs).
+PARENT_REAP_GRACE_S = 10.0
+
+#: pool respawns tolerated per batch before degrading to serial.
+MAX_POOL_RESPAWNS = 2
 
 
 @dataclass(frozen=True)
@@ -133,11 +173,19 @@ class RunSpec:
 def link_down_schedule(
     config: SystemConfig, fraction: float, time_ps: int = FAULT_TIME_PS
 ) -> FaultSchedule:
-    """Kill the first ``round(fraction * edges)`` links of every group."""
+    """Kill the first ``round(fraction * edges)`` links of every group.
+
+    A nonzero ``fraction`` always kills at least one link per group:
+    tiny topologies used to round ``fraction * edges`` down to zero and
+    silently produce an empty schedule, making "faulted" sweep points
+    identical to fault-free ones.
+    """
     faults = []
     for group in config.groups:
         topology = Topology(config.topology, len(group))
         count = round(fraction * len(topology.edges))
+        if fraction > 0.0 and count == 0 and topology.edges:
+            count = 1
         for a, b in topology.edges[:count]:
             faults.append(
                 LinkDown(time_ps=time_ps, dimm_a=group[a], dimm_b=group[b])
@@ -211,11 +259,99 @@ def _worker_init(parent_sys_path: List[str]) -> None:
     sys.path[:] = parent_sys_path
 
 
+# -- per-spec supervision ------------------------------------------------------------
+
+
+def _alarm_handler(signum, frame) -> None:
+    raise SpecTimeoutError(
+        "spec exceeded its wall-clock budget outside the simulator"
+    )
+
+
+def supervised_call(
+    execute: Callable[[RunSpec], RunResult],
+    spec: RunSpec,
+    timeout_s: Optional[float],
+) -> RunResult:
+    """Run one spec under the stall watchdog and a SIGALRM backstop.
+
+    With a timeout, the engine's :class:`StallWatchdog` is armed for the
+    whole call, so a hang inside ``Simulator.run`` raises
+    :class:`~repro.errors.SimStallError` with the blocked-process
+    snapshot.  SIGALRM (where available, main thread only) fires
+    slightly later and catches hangs the simulator cannot see —
+    workload generation, placement solving, serialization.
+    """
+    if timeout_s is None:
+        return execute(spec)
+    install_watchdog(StallWatchdog(wall_clock_limit_s=timeout_s))
+    use_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s * ALARM_GRACE)
+    try:
+        return execute(spec)
+    finally:
+        clear_watchdog()
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _backoff_delay(attempt: int) -> float:
+    """Capped exponential backoff before retry number ``attempt``."""
+    return min(RETRY_BACKOFF_CAP_S, RETRY_BACKOFF_S * (2 ** max(0, attempt - 1)))
+
+
+def _diagnose(exc: BaseException) -> str:
+    """Where-did-it-hang detail for watchdog/deadlock failures."""
+    if isinstance(exc, SimStallError):
+        blocked = exc.snapshot.get("blocked", [])
+        lines = [
+            f"stalled at t={exc.snapshot.get('time_ps', '?')}ps, "
+            f"queue_depth={exc.snapshot.get('queue_depth', '?')}, "
+            f"live_processes={exc.snapshot.get('live_processes', '?')}"
+        ]
+        lines += [f"  {name} <- {waiting}" for name, waiting in blocked]
+        return "\n".join(lines)
+    if isinstance(exc, DeadlockError):
+        lines = [f"deadlocked at t={exc.time_ps}ps"]
+        lines += [f"  {name} <- {waiting}" for name, waiting in exc.blocked[:16]]
+        return "\n".join(lines)
+    return ""
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined spec: what failed, how often, and why."""
+
+    spec: RunSpec
+    key: str
+    attempts: int
+    error: str
+    diagnosis: str = ""
+
+    def summary(self) -> str:
+        """One human-readable line for the sweep report."""
+        line = (
+            f"{self.spec.workload}/{self.spec.config} kind={self.spec.kind} "
+            f"seed={self.spec.seed}: {self.error} (attempts={self.attempts})"
+        )
+        if self.diagnosis:
+            line += "\n    " + self.diagnosis.replace("\n", "\n    ")
+        return line
+
+
 # -- the runner ----------------------------------------------------------------------
 
 
 class SweepRunner:
-    """Executes RunSpec batches with memoisation and process fan-out."""
+    """Executes RunSpec batches with memoisation, process fan-out, and
+    supervision: incremental checkpointing, retry/quarantine, per-spec
+    timeouts, and pool respawn with serial degradation."""
 
     def __init__(
         self,
@@ -223,17 +359,38 @@ class SweepRunner:
         cache: Optional[Union[ResultsCache, str]] = None,
         use_cache: bool = True,
         execute: Callable[[RunSpec], RunResult] = execute_spec,
+        retries: int = 1,
+        spec_timeout: Optional[float] = None,
+        strict: bool = True,
+        max_pool_respawns: int = MAX_POOL_RESPAWNS,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if spec_timeout is not None and spec_timeout <= 0:
+            raise ConfigError(f"spec_timeout must be positive, got {spec_timeout}")
         self.jobs = jobs
         self.cache = ResultsCache(cache) if isinstance(cache, str) else cache
         self.use_cache = use_cache and self.cache is not None
         self.execute = execute
+        #: extra attempts granted to a failing spec before quarantine.
+        self.retries = retries
+        #: per-spec wall-clock budget in seconds (None = unbounded).
+        self.spec_timeout = spec_timeout
+        #: strict: a batch with quarantined specs raises
+        #: :class:`SweepExecutionError` *after* every healthy spec has
+        #: completed and been checkpointed.  Non-strict: ``run`` returns
+        #: ``None`` at the failed positions and the caller inspects
+        #: :attr:`dead_letters`.
+        self.strict = strict
+        self.max_pool_respawns = max_pool_respawns
         #: specs served without simulating (disk hits + in-batch dedup).
         self.hits = 0
-        #: simulations actually executed.
+        #: simulations actually attempted.
         self.misses = 0
+        #: quarantined specs across every batch this runner executed.
+        self.dead_letters: List[DeadLetter] = []
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -247,51 +404,324 @@ class SweepRunner:
         per batch (duplicates share the result) and not at all when a
         warm cache entry exists.  With caching disabled every spec
         simulates, unconditionally.
-        """
-        results: List[Optional[RunResult]] = [None] * len(specs)
-        if not self.use_cache:
-            executed = self._execute_batch(list(specs))
-            self.misses += len(executed)
-            return executed
 
+        Every completed spec is checkpointed to the cache *the moment it
+        finishes*, so an interrupted batch (crash, ``KeyboardInterrupt``)
+        keeps all finished work and a rerun resumes from the cache.
+        Failing specs are retried (:attr:`retries`) and then quarantined
+        into :attr:`dead_letters`; see :attr:`strict` for how quarantine
+        surfaces to the caller.
+        """
+        spec_list = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(spec_list)
+        #: positions in miss_specs -> all batch indices sharing that run.
+        targets: List[List[int]] = []
         miss_specs: List[RunSpec] = []
         miss_keys: List[str] = []
-        index_of_key: Dict[str, int] = {}
-        pending: Dict[str, List[int]] = {}
-        for index, spec in enumerate(specs):
-            key = spec.cache_key()
-            if key in pending:  # in-batch duplicate: share the one run
-                pending[key].append(index)
-                continue
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[index] = cached
-                continue
-            pending[key] = [index]
-            index_of_key[key] = len(miss_specs)
-            miss_specs.append(spec)
-            miss_keys.append(key)
 
-        executed = self._execute_batch(miss_specs)
-        for key, spec, result in zip(miss_keys, miss_specs, executed):
-            self.cache.put(key, result, spec=spec.to_json_dict())
-            for index in pending[key]:
+        if self.use_cache:
+            pending: Dict[str, int] = {}  # key -> position in miss_specs
+            for index, spec in enumerate(spec_list):
+                key = spec.cache_key()
+                if key in pending:  # in-batch duplicate: share the one run
+                    targets[pending[key]].append(index)
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+                pending[key] = len(miss_specs)
+                miss_specs.append(spec)
+                miss_keys.append(key)
+                targets.append([index])
+        else:
+            miss_specs = spec_list
+            miss_keys = [spec.cache_key() for spec in spec_list]
+            targets = [[index] for index in range(len(spec_list))]
+
+        def checkpoint(pos: int, result: RunResult) -> None:
+            if self.use_cache:
+                self.cache.put(
+                    miss_keys[pos], result, spec=miss_specs[pos].to_json_dict()
+                )
+            for index in targets[pos]:
                 results[index] = result
 
+        failures = self._execute_supervised(miss_specs, miss_keys, checkpoint)
+
         self.misses += len(miss_specs)
-        self.hits += len(specs) - len(miss_specs)
+        self.hits += len(spec_list) - len(miss_specs)
+        if failures:
+            self.dead_letters.extend(failures)
+            if self.strict:
+                detail = "; ".join(f.summary().splitlines()[0] for f in failures[:4])
+                raise SweepExecutionError(
+                    f"{len(failures)} spec(s) quarantined after exhausting "
+                    f"their retry budget ({detail}); all other specs "
+                    "completed and were checkpointed",
+                    dead_letters=failures,
+                )
         return results  # type: ignore[return-value]
 
-    def _execute_batch(self, specs: List[RunSpec]) -> List[RunResult]:
-        """Run specs (order-preserving), in-process or across workers."""
+    # -- supervised execution --------------------------------------------------------
+
+    def _execute_supervised(
+        self,
+        specs: List[RunSpec],
+        keys: List[str],
+        checkpoint: Callable[[int, RunResult], None],
+    ) -> List[DeadLetter]:
+        """Run every spec (at-most-once success each), return quarantines."""
+        if not specs:
+            return []
         if self.jobs == 1 or len(specs) <= 1:
-            return [self.execute(spec) for spec in specs]
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(specs)),
+            return self._run_serial(list(range(len(specs))), specs, keys, checkpoint)
+        return self._run_pool(specs, keys, checkpoint)
+
+    def _dead_letter(
+        self, spec: RunSpec, key: str, attempts: int, error: str, diagnosis: str = ""
+    ) -> DeadLetter:
+        return DeadLetter(
+            spec=spec, key=key, attempts=attempts, error=error, diagnosis=diagnosis
+        )
+
+    def _run_serial(
+        self,
+        positions: List[int],
+        specs: List[RunSpec],
+        keys: List[str],
+        checkpoint: Callable[[int, RunResult], None],
+        attempts: Optional[Dict[int, int]] = None,
+    ) -> List[DeadLetter]:
+        """In-process execution with retries (also the degraded path)."""
+        attempts = attempts if attempts is not None else {}
+        failures: List[DeadLetter] = []
+        for pos in positions:
+            while True:
+                attempts[pos] = attempts.get(pos, 0) + 1
+                try:
+                    result = supervised_call(
+                        self.execute, specs[pos], self.spec_timeout
+                    )
+                except Exception as exc:
+                    if attempts[pos] > self.retries:
+                        failures.append(
+                            self._dead_letter(
+                                specs[pos],
+                                keys[pos],
+                                attempts[pos],
+                                f"{type(exc).__name__}: {exc}",
+                                _diagnose(exc),
+                            )
+                        )
+                        break
+                    time.sleep(_backoff_delay(attempts[pos]))
+                    continue
+                checkpoint(pos, result)
+                break
+        return failures
+
+    def _new_pool(self, width: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(self.jobs, width),
             initializer=_worker_init,
             initargs=(list(sys.path),),
-        ) as pool:
-            return list(pool.map(self.execute, specs))
+        )
+
+    def _submit(
+        self,
+        pool: ProcessPoolExecutor,
+        specs: List[RunSpec],
+        pos: int,
+        inflight: Dict[Future, int],
+        started: Dict[Future, float],
+        attempts: Dict[int, int],
+    ) -> None:
+        attempts[pos] = attempts.get(pos, 0) + 1
+        future = pool.submit(
+            supervised_call, self.execute, specs[pos], self.spec_timeout
+        )
+        inflight[future] = pos
+        started[future] = time.monotonic()
+
+    def _run_pool(
+        self,
+        specs: List[RunSpec],
+        keys: List[str],
+        checkpoint: Callable[[int, RunResult], None],
+    ) -> List[DeadLetter]:
+        """submit/as-completed dispatch with retry, timeout, and respawn."""
+        failures: List[DeadLetter] = []
+        attempts: Dict[int, int] = {}
+        timed_out: Set[int] = set()
+        #: (due_monotonic, pos) retries parked for their backoff delay.
+        backoff: "deque[Tuple[float, int]]" = deque()
+        respawns = 0
+        pool = self._new_pool(len(specs))
+        inflight: Dict[Future, int] = {}
+        started: Dict[Future, float] = {}
+
+        def recover(broken_pool: ProcessPoolExecutor, first_pos: int):
+            """Pool died: quarantine/respawn, or degrade to serial.
+
+            Returns the fresh pool, or ``None`` once respawns are
+            exhausted — the remaining specs then finish in-process and
+            their outcomes are already folded into ``failures``.
+            """
+            nonlocal respawns
+            survivors = self._absorb_pool_break(
+                sorted({first_pos, *inflight.values()}),
+                specs,
+                keys,
+                attempts,
+                timed_out,
+                failures,
+            )
+            inflight.clear()
+            started.clear()
+            respawns += 1
+            broken_pool.shutdown(wait=False, cancel_futures=True)
+            remaining = survivors + sorted(pos for _due, pos in backoff)
+            backoff.clear()
+            if respawns > self.max_pool_respawns:
+                # workers keep dying: finish in-process, serially
+                failures.extend(
+                    self._run_serial(remaining, specs, keys, checkpoint, attempts)
+                )
+                return None
+            fresh = self._new_pool(len(specs))
+            for retry_pos in remaining:
+                self._submit(fresh, specs, retry_pos, inflight, started, attempts)
+            return fresh
+
+        try:
+            for pos in range(len(specs)):
+                self._submit(pool, specs, pos, inflight, started, attempts)
+            while inflight or backoff:
+                now = time.monotonic()
+                pool_broken = False
+                while backoff and backoff[0][0] <= now:
+                    _due, pos = backoff.popleft()
+                    try:
+                        self._submit(pool, specs, pos, inflight, started, attempts)
+                    except BrokenProcessPool:
+                        attempts[pos] -= 1  # this attempt never started
+                        pool = recover(pool, pos)
+                        pool_broken = True
+                        break
+                if pool_broken:
+                    if pool is None:
+                        return failures
+                    continue
+                if not inflight:  # everything is parked on backoff
+                    time.sleep(max(0.0, backoff[0][0] - time.monotonic()))
+                    continue
+                tick = 0.1 if (self.spec_timeout is not None or backoff) else None
+                done, _running = wait(
+                    set(inflight), timeout=tick, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    pos = inflight.pop(future)
+                    started.pop(future, None)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        pool = recover(pool, pos)
+                        if pool is None:
+                            return failures
+                        break  # other done futures belong to the dead pool
+                    except Exception as exc:
+                        if attempts[pos] > self.retries:
+                            failures.append(
+                                self._dead_letter(
+                                    specs[pos],
+                                    keys[pos],
+                                    attempts[pos],
+                                    f"{type(exc).__name__}: {exc}",
+                                    _diagnose(exc),
+                                )
+                            )
+                        else:
+                            backoff.append(
+                                (
+                                    time.monotonic()
+                                    + _backoff_delay(attempts[pos]),
+                                    pos,
+                                )
+                            )
+                    else:
+                        checkpoint(pos, result)
+                if not pool_broken and self.spec_timeout is not None:
+                    self._reap_overdue(pool, inflight, started, timed_out)
+            pool.shutdown()
+            return failures
+        except BaseException:
+            # flush path: completed results are already checkpointed; just
+            # stop handing out new work before propagating (Ctrl-C, etc.)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+    def _absorb_pool_break(
+        self,
+        positions: List[int],
+        specs: List[RunSpec],
+        keys: List[str],
+        attempts: Dict[int, int],
+        timed_out: Set[int],
+        failures: List[DeadLetter],
+    ) -> List[int]:
+        """Split in-flight specs of a dead pool into retries vs quarantine.
+
+        Every in-flight spec's attempt died with the pool; the ones out
+        of budget are dead-lettered, the rest are returned for
+        resubmission (an innocent bystander of a crashing neighbour
+        succeeds on its retry).
+        """
+        survivors: List[int] = []
+        for pos in positions:
+            if attempts.get(pos, 0) > self.retries:
+                cause = (
+                    "wall-clock timeout: worker unresponsive, terminated by "
+                    "the parent reaper"
+                    if pos in timed_out
+                    else "worker process died (BrokenProcessPool)"
+                )
+                failures.append(
+                    self._dead_letter(specs[pos], keys[pos], attempts[pos], cause)
+                )
+            else:
+                survivors.append(pos)
+        return survivors
+
+    def _reap_overdue(
+        self,
+        pool: ProcessPoolExecutor,
+        inflight: Dict[Future, int],
+        started: Dict[Future, float],
+        timed_out: Set[int],
+    ) -> None:
+        """Terminate the pool when a worker blew through every timeout.
+
+        The worker-side watchdog + SIGALRM normally end an overdue spec
+        from within; this parent-side backstop only fires when a worker
+        is so wedged it ignored both (e.g. stuck outside the bytecode
+        loop), and recovery then rides the BrokenProcessPool path.
+        """
+        assert self.spec_timeout is not None
+        budget = self.spec_timeout * ALARM_GRACE + PARENT_REAP_GRACE_S
+        now = time.monotonic()
+        overdue = [
+            future
+            for future, begun in started.items()
+            if future in inflight and now - begun > budget
+        ]
+        if not overdue:
+            return
+        for future in overdue:
+            timed_out.add(inflight[future])
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
 
 
 # -- process-wide default runner (configured by the CLI) -----------------------------
@@ -303,11 +733,21 @@ def configure(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    retries: int = 1,
+    spec_timeout: Optional[float] = None,
+    strict: bool = True,
 ) -> SweepRunner:
     """Install (and return) the default runner experiments will use."""
     global _default_runner
     cache = ResultsCache(cache_dir) if (cache_dir and use_cache) else None
-    _default_runner = SweepRunner(jobs=jobs, cache=cache, use_cache=use_cache)
+    _default_runner = SweepRunner(
+        jobs=jobs,
+        cache=cache,
+        use_cache=use_cache,
+        retries=retries,
+        spec_timeout=spec_timeout,
+        strict=strict,
+    )
     return _default_runner
 
 

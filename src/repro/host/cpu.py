@@ -14,7 +14,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 from repro.config import SystemConfig
 from repro.dram.module import DRAMModule
 from repro.dram.timing import preset
-from repro.errors import WorkloadError
+from repro.errors import DeadlockError, WorkloadError
 from repro.host.memchannel import MemoryChannel
 from repro.nmp.executor import ThreadExecutor
 from repro.nmp.results import RunResult
@@ -172,7 +172,12 @@ class HostCPUSystem:
         self.sim.run()
         unfinished = [p.name for p in processes if not p.finished]
         if unfinished:
-            raise WorkloadError(f"kernel deadlocked; stuck threads: {unfinished}")
+            blocked = self.sim.blocked_processes()
+            raise DeadlockError(
+                f"kernel deadlocked; stuck threads: {unfinished}",
+                blocked=blocked,
+                time_ps=self.sim.now,
+            )
         ends = [p.value - start for p in processes]
         return RunResult(
             system_name=f"cpu-{self.config.name}",

@@ -16,7 +16,7 @@ from typing import Callable, Iterator, List, Optional, Union
 
 from repro.config import SystemConfig
 from repro.core.sync import SyncManager
-from repro.errors import ConfigError, WorkloadError
+from repro.errors import ConfigError, DeadlockError, WorkloadError
 from repro.faults import FaultSchedule
 from repro.host.forwarding import ForwardController
 from repro.host.memchannel import MemoryChannel
@@ -139,7 +139,12 @@ class NMPSystem:
         self.idc.finalize_stats()
         unfinished = [p.name for p in processes if not p.finished]
         if unfinished:
-            raise WorkloadError(f"kernel deadlocked; stuck threads: {unfinished}")
+            blocked = self.sim.blocked_processes()
+            raise DeadlockError(
+                f"kernel deadlocked; stuck threads: {unfinished}",
+                blocked=blocked,
+                time_ps=self.sim.now,
+            )
         ends = [p.value - start for p in processes]
         return RunResult(
             system_name=self.config.name,

@@ -35,7 +35,10 @@ from repro.nmp.results import RunResult
 #: bump whenever a change alters simulation semantics (timing models,
 #: stat names, workload generation, ...): every existing cache entry
 #: then misses and is transparently recomputed.
-CODE_VERSION = 1
+#: v2: ``link_down_schedule`` kills at least one link per group whenever
+#: ``fault_fraction`` is nonzero (previously rounded down to none on
+#: tiny topologies).
+CODE_VERSION = 2
 
 
 class ResultsCache:
@@ -58,11 +61,17 @@ class ResultsCache:
 
         Any unreadable entry — missing, truncated, corrupt JSON, or a
         payload that no longer matches the schema — counts as a miss;
-        the caller re-simulates and overwrites it.
+        the caller re-simulates and overwrites it.  So does any entry
+        whose *stored* ``key`` or ``code_version`` disagrees with the
+        key it was looked up under and the current :data:`CODE_VERSION`:
+        a hand-renamed, copied, or edited entry would otherwise answer
+        for a spec it never simulated.
         """
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
+            if payload["key"] != key or payload["code_version"] != CODE_VERSION:
+                raise ValueError("cache entry does not match its filename key")
             result = RunResult.from_json_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1

@@ -1,6 +1,16 @@
 """Discrete-event simulation kernel (engine, time units, resources, stats)."""
 
-from repro.sim.engine import AllOf, AnyOf, Process, SimEvent, Simulator
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Process,
+    SimEvent,
+    Simulator,
+    StallWatchdog,
+    active_watchdog,
+    clear_watchdog,
+    install_watchdog,
+)
 from repro.sim.resource import BandwidthResource, SlotResource
 from repro.sim.stats import Histogram, StatRegistry
 from repro.sim import time
@@ -11,6 +21,10 @@ __all__ = [
     "Process",
     "SimEvent",
     "Simulator",
+    "StallWatchdog",
+    "active_watchdog",
+    "clear_watchdog",
+    "install_watchdog",
     "BandwidthResource",
     "SlotResource",
     "Histogram",

@@ -26,12 +26,114 @@ same timestamp fire in scheduling order.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import DeadlockError, SimStallError, SimulationError
 from repro.trace.recorder import NULL_RECORDER
 
 ProcessGen = Generator[Any, Any, Any]
+
+
+class StallWatchdog:
+    """No-progress detector consulted by :meth:`Simulator.run`.
+
+    Two independent checks, both optional:
+
+    * **Wall-clock budget** — ``wall_clock_limit_s`` starts a monotonic
+      deadline *at construction time*, so one watchdog bounds a whole
+      spec execution even when it spans several ``run()`` calls.  The
+      loop samples the clock every ``check_interval_events`` events and
+      raises :class:`~repro.errors.SimStallError` with a diagnostic
+      snapshot (simulated time, event count, queue depth, blocked
+      processes) once the budget is spent.
+    * **Deadlock on drain** — with ``detect_deadlock`` set, a queue that
+      empties while processes are still suspended raises a structured
+      :class:`~repro.errors.DeadlockError` naming every waiting process
+      and what it waits on.  Off by default: simulations may legitimately
+      finish with service loops parked on events that never fire.
+
+    Install process-wide with :func:`install_watchdog` (how the sweep
+    harness arms per-spec budgets without threading a handle through
+    every layer) or pass one directly to ``Simulator.run``.
+    """
+
+    __slots__ = (
+        "wall_clock_limit_s",
+        "detect_deadlock",
+        "check_interval_events",
+        "deadline",
+    )
+
+    def __init__(
+        self,
+        wall_clock_limit_s: Optional[float] = None,
+        detect_deadlock: bool = False,
+        check_interval_events: int = 4096,
+    ) -> None:
+        if wall_clock_limit_s is not None and wall_clock_limit_s <= 0:
+            raise SimulationError(
+                f"wall_clock_limit_s must be positive, got {wall_clock_limit_s}"
+            )
+        self.wall_clock_limit_s = wall_clock_limit_s
+        self.detect_deadlock = detect_deadlock
+        self.check_interval_events = max(1, check_interval_events)
+        self.deadline = (
+            time.monotonic() + wall_clock_limit_s
+            if wall_clock_limit_s is not None
+            else None
+        )
+
+    def check(self, sim: "Simulator", processed: int) -> None:
+        """Raise :class:`SimStallError` if the wall-clock budget is spent."""
+        if self.deadline is None or time.monotonic() <= self.deadline:
+            return
+        snapshot = sim.snapshot(events_processed=processed)
+        raise SimStallError(
+            f"simulation exceeded its {self.wall_clock_limit_s}s wall-clock "
+            f"budget at t={sim.now}ps ({processed} events this run, "
+            f"{snapshot['queue_depth']} queued, "
+            f"{snapshot['live_processes']} live processes)",
+            snapshot=snapshot,
+        )
+
+
+#: process-wide watchdog consulted by every ``Simulator.run`` when the
+#: caller passes none explicitly (armed per spec by the sweep harness).
+_ACTIVE_WATCHDOG: Optional[StallWatchdog] = None
+
+
+def install_watchdog(watchdog: StallWatchdog) -> StallWatchdog:
+    """Arm ``watchdog`` as the process-wide default; returns it."""
+    global _ACTIVE_WATCHDOG
+    _ACTIVE_WATCHDOG = watchdog
+    return watchdog
+
+
+def clear_watchdog() -> None:
+    """Disarm the process-wide watchdog."""
+    global _ACTIVE_WATCHDOG
+    _ACTIVE_WATCHDOG = None
+
+
+def active_watchdog() -> Optional[StallWatchdog]:
+    """The currently armed process-wide watchdog, if any."""
+    return _ACTIVE_WATCHDOG
+
+
+def _describe_wait(target: Any) -> str:
+    """Human-readable description of what a process is suspended on."""
+    if isinstance(target, int):
+        return f"delay {target}ps"
+    if isinstance(target, Process):
+        return f"process {target.name!r}"
+    if isinstance(target, SimEvent):
+        return f"event {target.name!r}"
+    if isinstance(target, AllOf):
+        return f"AllOf({len(target.children)} children)"
+    if isinstance(target, AnyOf):
+        return f"AnyOf({len(target.children)} children)"
+    return "nothing (not yet waiting)" if target is None else repr(target)
 
 
 class SimEvent:
@@ -155,7 +257,7 @@ class Process:
     pending wait without the resumed process being woken twice.
     """
 
-    __slots__ = ("sim", "name", "done", "_gen", "_finished", "_epoch")
+    __slots__ = ("sim", "name", "done", "_gen", "_finished", "_epoch", "_blocked_on")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         self.sim = sim
@@ -164,6 +266,8 @@ class Process:
         self._gen = gen
         self._finished = False
         self._epoch = 0
+        self._blocked_on: Any = None
+        sim._live.add(self)
         sim._schedule_now(self._step, None)
 
     @property
@@ -175,6 +279,12 @@ class Process:
     def value(self) -> Any:
         """The generator's return value (None until finished)."""
         return self.done.value
+
+    def waiting_on(self) -> str:
+        """What the process is currently suspended on (diagnostics)."""
+        if self._finished:
+            return "finished"
+        return _describe_wait(self._blocked_on)
 
     def interrupt(self, exc: BaseException) -> None:
         """Throw ``exc`` into the process at the current time.
@@ -208,10 +318,12 @@ class Process:
                 target = self._gen.send(value)
         except StopIteration as stop:
             self._finished = True
+            self.sim._live.discard(self)
             self.done.succeed(stop.value)
             return
         except BaseException as exc:
             self._finished = True
+            self.sim._live.discard(self)
             # deliver to a waiter if someone is listening, else surface
             # loudly out of the event loop
             if self.done._callbacks:
@@ -222,6 +334,7 @@ class Process:
 
     def _wait_on(self, target: Any) -> None:
         epoch = self._epoch
+        self._blocked_on = target
         if isinstance(target, int):
             if target < 0:
                 raise SimulationError(
@@ -299,6 +412,8 @@ class Simulator:
         self._now = 0
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[Any], None], Any]] = []
+        #: unfinished processes (diagnostics: who is blocked, and on what).
+        self._live: set = set()
         #: observability hook; the shared no-op recorder unless a
         #: :class:`~repro.trace.recorder.TraceRecorder` is installed.
         self.trace = NULL_RECORDER
@@ -307,6 +422,27 @@ class Simulator:
     def now(self) -> int:
         """Current simulation time in picoseconds."""
         return self._now
+
+    def blocked_processes(self) -> List[Tuple[str, str]]:
+        """``(name, waiting_on)`` for every unfinished process, sorted.
+
+        Deterministic (name-sorted) so stall/deadlock diagnoses are
+        stable across runs of the same simulation.
+        """
+        return sorted(
+            (process.name, process.waiting_on()) for process in self._live
+        )
+
+    def snapshot(self, events_processed: int = 0) -> Dict[str, Any]:
+        """Diagnostic state dump used by stall/deadlock reports."""
+        blocked = self.blocked_processes()
+        return {
+            "time_ps": self._now,
+            "events_processed": events_processed,
+            "queue_depth": len(self._queue),
+            "live_processes": len(blocked),
+            "blocked": blocked[:16],
+        }
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh untriggered event bound to this simulator."""
@@ -336,7 +472,12 @@ class Simulator:
         self.schedule(delay, lambda _arg: event.succeed(value), None)
         return event
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        watchdog: Optional[StallWatchdog] = None,
+    ) -> int:
         """Drain the event queue; return the final simulation time.
 
         ``until`` bounds simulated time; ``max_events`` guards against
@@ -344,10 +485,25 @@ class Simulator:
         Whether the queue empties before the horizon or not, the clock
         lands on ``until`` (never moving backwards), so time-based rate
         denominators are consistent across both cases.
+
+        ``watchdog`` (default: the process-wide one armed via
+        :func:`install_watchdog`, if any) adds no-progress detection: a
+        wall-clock budget enforced every ``check_interval_events``
+        events (:class:`~repro.errors.SimStallError` with a diagnostic
+        snapshot), and — when ``detect_deadlock`` is set — a structured
+        :class:`~repro.errors.DeadlockError` naming the waiting
+        processes if the queue drains while some are still suspended.
         """
         processed = 0
         trace = self.trace
         tracing = trace.enabled
+        if watchdog is None:
+            watchdog = _ACTIVE_WATCHDOG
+        check_every = (
+            watchdog.check_interval_events
+            if watchdog is not None and watchdog.deadline is not None
+            else 0
+        )
         while self._queue:
             time, _seq, callback, arg = self._queue[0]
             if until is not None and time > until:
@@ -362,6 +518,18 @@ class Simulator:
             processed += 1
             if max_events is not None and processed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
+            if check_every and processed % check_every == 0:
+                watchdog.check(self, processed)
+        if watchdog is not None and watchdog.detect_deadlock and not self._queue:
+            blocked = self.blocked_processes()
+            if blocked:
+                detail = "; ".join(f"{name} <- {wait}" for name, wait in blocked[:8])
+                raise DeadlockError(
+                    f"event queue drained at t={self._now}ps with "
+                    f"{len(blocked)} blocked process(es): {detail}",
+                    blocked=blocked,
+                    time_ps=self._now,
+                )
         if until is not None and until > self._now:
             self._now = until
             if tracing:
@@ -373,5 +541,12 @@ class Simulator:
         proc = self.process(gen, name=name)
         self.run()
         if not proc.finished:
-            raise SimulationError(f"process {proc.name!r} deadlocked")
+            blocked = self.blocked_processes()
+            detail = "; ".join(f"{name} <- {wait}" for name, wait in blocked[:8])
+            raise DeadlockError(
+                f"process {proc.name!r} deadlocked at t={self._now}ps"
+                + (f" (blocked: {detail})" if detail else ""),
+                blocked=blocked,
+                time_ps=self._now,
+            )
         return proc.value

@@ -142,3 +142,77 @@ def test_cli_trace_emits_valid_chrome_trace(tmp_path, capsys):
     meta = json.loads(jsonl_path.read_text().splitlines()[0])
     assert meta["type"] == "meta"
     assert meta["spans"] == doc["otherData"]["spans"]
+
+
+# -- supervision flags and the dead-letter / interrupt paths -------------------------
+
+
+def test_supervision_flags_are_validated():
+    with pytest.raises(SystemExit):
+        main(["fig11", "--retries", "-1"])
+    with pytest.raises(SystemExit):
+        main(["fig11", "--spec-timeout", "0"])
+
+
+def test_supervision_flags_configure_the_runner(tmp_path, capsys, monkeypatch):
+    from repro.experiments import cli as cli_module
+    from repro.experiments import runner as sweep_runner
+
+    seen = {}
+
+    def probe(size):
+        runner = sweep_runner.get_runner()
+        seen["retries"] = runner.retries
+        seen["spec_timeout"] = runner.spec_timeout
+
+    monkeypatch.setitem(cli_module._SIZED, "fig11", probe)
+    assert main(
+        [
+            "fig11",
+            "--cache-dir",
+            str(tmp_path),
+            "--retries",
+            "3",
+            "--spec-timeout",
+            "120",
+        ]
+    ) == 0
+    assert seen == {"retries": 3, "spec_timeout": 120.0}
+
+
+def test_quarantined_sweep_reports_dead_letters_and_fails(tmp_path, capsys, monkeypatch):
+    from repro.errors import SweepExecutionError
+    from repro.experiments import cli as cli_module
+    from repro.experiments import runner as sweep_runner
+    from repro.experiments.runner import DeadLetter, RunSpec
+
+    def quarantined(size):
+        letter = DeadLetter(
+            spec=RunSpec(config="4D-2C", workload="pagerank", size=size),
+            key="f" * 64,
+            attempts=2,
+            error="RuntimeError: injected crash",
+        )
+        sweep_runner.get_runner().dead_letters.append(letter)
+        raise SweepExecutionError("1 spec(s) quarantined", dead_letters=[letter])
+
+    monkeypatch.setitem(cli_module._SIZED, "fig11", quarantined)
+    assert main(["fig11", "--size", "tiny", "--cache-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[dead-letter] 1 spec(s) quarantined:" in out
+    assert "injected crash" in out
+    assert "attempts=2" in out
+    assert "[cache]" in out  # the cache line still prints
+
+
+def test_keyboard_interrupt_prints_partial_cache_line(tmp_path, capsys, monkeypatch):
+    from repro.experiments import cli as cli_module
+
+    def interrupted(size):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setitem(cli_module._SIZED, "fig11", interrupted)
+    assert main(["fig11", "--size", "tiny", "--cache-dir", str(tmp_path)]) == 130
+    out = capsys.readouterr().out
+    assert "interrupted" in out
+    assert "[cache]" in out  # partial stats flushed for the resume message

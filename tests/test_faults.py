@@ -229,3 +229,44 @@ def test_resilience_sweep_shape():
     assert mcn[0] == pytest.approx(mcn[1])  # no bridge: faults don't apply
     assert dl[1] < dl[0]  # injected failures cost bandwidth...
     assert dl[1] > 0  # ...but host failover keeps it nonzero
+
+
+# -- spec-driven link-down schedules -------------------------------------------------
+
+
+def test_tiny_fraction_still_kills_at_least_one_link_per_group():
+    """round(fraction * edges) == 0 must not silently skip injection."""
+    from repro.experiments.runner import link_down_schedule
+
+    config = SystemConfig.named("8D-4C")  # 3 bridge links per group
+    schedule = link_down_schedule(config, 0.05)  # round(0.15) == 0
+    assert len(schedule.faults) == len(config.groups)  # one kill per group
+    assert all(isinstance(fault, LinkDown) for fault in schedule.faults)
+
+
+def test_zero_fraction_installs_no_faults():
+    from repro.experiments.runner import link_down_schedule
+
+    config = SystemConfig.named("8D-4C")
+    assert len(link_down_schedule(config, 0.0).faults) == 0
+
+
+def test_full_fraction_kills_every_link():
+    from repro.experiments.runner import link_down_schedule
+
+    config = SystemConfig.named("8D-4C")
+    assert len(link_down_schedule(config, 1.0).faults) == 6
+
+
+def test_tiny_fraction_sweep_point_actually_degrades():
+    """The resilience sweep's smallest nonzero point measures a real
+    degraded run, not a silent replay of the fault-free one."""
+    from repro.experiments.runner import RunSpec, execute_spec
+
+    base = dict(
+        config="8D-4C", workload="uniform_random", size="tiny", seed=11
+    )
+    clean = execute_spec(RunSpec(**base, fault_fraction=0.0))
+    faulted = execute_spec(RunSpec(**base, fault_fraction=0.05))
+    assert clean.counter("fault.links_down") == 0
+    assert faulted.counter("fault.links_down") >= 1

@@ -189,3 +189,73 @@ def test_clear_empties_the_cache(tmp_path):
     assert len(cache) == 1
     assert cache.clear() == 1
     assert len(cache) == 0
+
+
+# -- stored-key / code-version validation --------------------------------------------
+
+
+def test_renamed_entry_is_a_corruption_miss(tmp_path):
+    """A hand-copied or renamed entry must not answer for another key."""
+    cache = ResultsCache(tmp_path)
+    key = SPEC.cache_key()
+    cache.put(key, fake_result(SPEC))
+    other_key = "0" * 64
+    cache.path_for(key).rename(cache.path_for(other_key))
+    assert cache.get(other_key) is None  # stored key disagrees with filename
+    assert cache.misses == 1
+
+
+def test_stored_code_version_mismatch_is_a_miss(tmp_path):
+    cache = ResultsCache(tmp_path)
+    key = SPEC.cache_key()
+    path = cache.put(key, fake_result(SPEC))
+    payload = json.loads(path.read_text())
+    payload["code_version"] = CODE_VERSION - 1
+    path.write_text(json.dumps(payload, sort_keys=True))
+    assert cache.get(key) is None
+    assert cache.misses == 1
+
+
+def test_edited_stored_key_is_a_miss(tmp_path):
+    cache = ResultsCache(tmp_path)
+    key = SPEC.cache_key()
+    path = cache.put(key, fake_result(SPEC))
+    payload = json.loads(path.read_text())
+    payload["key"] = "f" * 64
+    path.write_text(json.dumps(payload, sort_keys=True))
+    assert cache.get(key) is None
+
+
+# -- concurrent multi-process writers ------------------------------------------------
+
+
+def _put_from_child(cache_dir, key, barrier):
+    from repro.results_cache import ResultsCache as ChildCache
+
+    cache = ChildCache(cache_dir)
+    barrier.wait(timeout=30)  # both writers rename as close together as we can
+    cache.put(key, fake_result(SPEC), spec=SPEC.to_json_dict())
+
+
+def test_concurrent_writers_of_the_same_key_both_leave_a_valid_entry(tmp_path):
+    """Atomic temp-file+rename: racing writers never interleave bytes."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    key = SPEC.cache_key()
+    barrier = ctx.Barrier(2)
+    writers = [
+        ctx.Process(target=_put_from_child, args=(str(tmp_path), key, barrier))
+        for _ in range(2)
+    ]
+    for writer in writers:
+        writer.start()
+    for writer in writers:
+        writer.join(timeout=60)
+        assert writer.exitcode == 0
+
+    first = ResultsCache(tmp_path).get(key)
+    second = ResultsCache(tmp_path).get(key)
+    assert first is not None and second is not None
+    assert first == second == fake_result(SPEC)
+    assert list(tmp_path.glob("*.tmp")) == []

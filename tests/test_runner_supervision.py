@@ -1,0 +1,306 @@
+"""Supervised-sweep suite: incremental checkpointing, retry/quarantine,
+per-spec timeouts with engine diagnosis, pool respawn, serial
+degradation, and KeyboardInterrupt flush semantics."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import SweepExecutionError
+from repro.experiments.runner import DeadLetter, RunSpec, SweepRunner
+from repro.results_cache import ResultsCache
+from repro.sim.engine import Simulator
+from tests.test_results_cache import fake_result
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+BAD_SEED = 666
+
+
+def grid(count: int, bad_at=None):
+    """``count`` distinct specs; position ``bad_at`` gets the bad seed."""
+    return [
+        RunSpec(
+            config="4D-2C",
+            workload="pagerank",
+            size="tiny",
+            seed=BAD_SEED if index == bad_at else index,
+        )
+        for index in range(count)
+    ]
+
+
+# -- module-level execute hooks (picklable for the process pool) ---------------------
+
+
+def ok_execute(spec):
+    return fake_result(spec)
+
+
+def crashy_execute(spec):
+    if spec.seed == BAD_SEED:
+        raise RuntimeError("injected crash")
+    return fake_result(spec)
+
+
+def worker_killer_execute(spec):
+    if spec.seed == BAD_SEED:
+        time.sleep(0.2)  # let innocent neighbours finish first
+        os._exit(17)  # kills the worker -> BrokenProcessPool in the parent
+    return fake_result(spec)
+
+
+def worker_only_killer_execute(spec):
+    if spec.seed == BAD_SEED:
+        if multiprocessing.parent_process() is not None:
+            os._exit(17)  # in a pool worker: die hard
+        raise RuntimeError("injected crash (serial fallback)")
+    return fake_result(spec)
+
+
+def sleepy_execute(spec):
+    if spec.seed == BAD_SEED:
+        time.sleep(30.0)  # hang *outside* the simulator: SIGALRM backstop
+    return fake_result(spec)
+
+
+def stuck_sim_execute(spec):
+    if spec.seed == BAD_SEED:
+        sim = Simulator()
+
+        def spin():
+            while True:
+                yield 1  # livelock: the event queue never drains
+
+        sim.process(spin(), name="spinner")
+        sim.run()  # the armed StallWatchdog must cut this off
+    return fake_result(spec)
+
+
+def interrupt_execute(spec):
+    if spec.seed == BAD_SEED:
+        raise KeyboardInterrupt()
+    return fake_result(spec)
+
+
+class FlakyExecute:
+    """Fails the bad spec ``failures`` times, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, spec):
+        if spec.seed == BAD_SEED:
+            self.calls += 1
+            if self.calls <= self.failures:
+                raise RuntimeError(f"transient failure #{self.calls}")
+        return fake_result(spec)
+
+
+# -- incremental checkpointing (satellite regression) --------------------------------
+
+
+def test_partial_batch_keeps_finished_results(tmp_path):
+    """Killing the Nth spec must not lose specs 1..N-1 from the cache."""
+    specs = grid(5, bad_at=4)
+    runner = SweepRunner(
+        cache=ResultsCache(tmp_path), execute=crashy_execute, retries=0
+    )
+    with pytest.raises(SweepExecutionError) as excinfo:
+        runner.run(specs)
+    assert len(excinfo.value.dead_letters) == 1
+    assert excinfo.value.dead_letters[0].spec.seed == BAD_SEED
+
+    cache = ResultsCache(tmp_path)
+    assert len(cache) == 4
+    for spec in specs[:4]:
+        assert cache.get(spec.cache_key()) is not None
+
+
+def test_results_checkpoint_the_moment_each_completes(tmp_path):
+    """Every completed spec is on disk before the next one starts."""
+    cache = ResultsCache(tmp_path)
+    seen_counts = []
+
+    def checkpoint_spy(spec):
+        seen_counts.append(len(cache))
+        return fake_result(spec)
+
+    SweepRunner(cache=cache, execute=checkpoint_spy).run(grid(4))
+    assert seen_counts == [0, 1, 2, 3]
+
+
+def test_keyboard_interrupt_flushes_completed_results(tmp_path):
+    specs = grid(4, bad_at=2)
+    runner = SweepRunner(cache=ResultsCache(tmp_path), execute=interrupt_execute)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(specs)
+    cache = ResultsCache(tmp_path)
+    assert cache.get(specs[0].cache_key()) is not None
+    assert cache.get(specs[1].cache_key()) is not None
+    assert cache.get(specs[2].cache_key()) is None
+
+
+# -- retry and quarantine ------------------------------------------------------------
+
+
+def test_transient_failure_retries_until_success(tmp_path):
+    execute = FlakyExecute(failures=2)
+    runner = SweepRunner(
+        cache=ResultsCache(tmp_path), execute=execute, retries=2
+    )
+    results = runner.run(grid(3, bad_at=1))
+    assert all(result is not None for result in results)
+    assert runner.dead_letters == []
+    assert execute.calls == 3  # two failures + the success
+
+
+def test_exhausted_retries_quarantine_without_aborting(tmp_path):
+    specs = grid(5, bad_at=2)
+    runner = SweepRunner(
+        cache=ResultsCache(tmp_path),
+        execute=crashy_execute,
+        retries=1,
+        strict=False,
+    )
+    results = runner.run(specs)
+    assert results[2] is None
+    assert all(results[i] is not None for i in (0, 1, 3, 4))
+    assert len(runner.dead_letters) == 1
+    letter = runner.dead_letters[0]
+    assert isinstance(letter, DeadLetter)
+    assert letter.attempts == 2  # initial + one retry
+    assert "injected crash" in letter.error
+    assert letter.spec.seed == BAD_SEED
+    # all healthy specs were checkpointed despite the quarantine
+    assert len(ResultsCache(tmp_path)) == 4
+
+
+def test_duplicate_failing_specs_quarantine_once(tmp_path):
+    bad = grid(1, bad_at=0)[0]
+    runner = SweepRunner(
+        cache=ResultsCache(tmp_path),
+        execute=crashy_execute,
+        retries=0,
+        strict=False,
+    )
+    results = runner.run([bad, bad])
+    assert results == [None, None]
+    assert len(runner.dead_letters) == 1
+
+
+def test_strict_error_reports_retry_counts():
+    runner = SweepRunner(execute=crashy_execute, retries=0, use_cache=False)
+    with pytest.raises(SweepExecutionError) as excinfo:
+        runner.run(grid(2, bad_at=0))
+    assert "quarantined" in str(excinfo.value)
+    assert excinfo.value.dead_letters[0].attempts == 1
+
+
+# -- per-spec wall-clock timeouts ----------------------------------------------------
+
+
+def test_timeout_outside_simulator_hits_sigalrm_backstop(tmp_path):
+    specs = grid(3, bad_at=1)
+    runner = SweepRunner(
+        cache=ResultsCache(tmp_path),
+        execute=sleepy_execute,
+        retries=0,
+        spec_timeout=0.3,
+        strict=False,
+    )
+    results = runner.run(specs)
+    assert results[1] is None
+    assert results[0] is not None and results[2] is not None
+    assert len(runner.dead_letters) == 1
+    assert "SpecTimeoutError" in runner.dead_letters[0].error
+
+
+def test_timeout_inside_simulator_reports_blocked_processes(tmp_path):
+    specs = grid(2, bad_at=1)
+    runner = SweepRunner(
+        cache=ResultsCache(tmp_path),
+        execute=stuck_sim_execute,
+        retries=0,
+        spec_timeout=0.3,
+        strict=False,
+    )
+    results = runner.run(specs)
+    assert results[0] is not None and results[1] is None
+    letter = runner.dead_letters[0]
+    assert "SimStallError" in letter.error
+    assert "stalled at" in letter.diagnosis
+    assert "spinner" in letter.diagnosis  # names the hung process
+
+
+# -- worker crashes: respawn and degradation -----------------------------------------
+
+
+def test_worker_crash_respawns_pool_and_quarantines_only_the_killer(tmp_path):
+    specs = grid(7, bad_at=3)
+    runner = SweepRunner(
+        jobs=2,
+        cache=ResultsCache(tmp_path),
+        execute=worker_killer_execute,
+        retries=1,
+        strict=False,
+    )
+    results = runner.run(specs)
+    good = [i for i in range(7) if i != 3]
+    assert all(results[i] is not None for i in good)
+    assert results[3] is None
+    assert [letter.spec.seed for letter in runner.dead_letters] == [BAD_SEED]
+    assert "worker process died" in runner.dead_letters[0].error
+    # the healthy six are all checkpointed for the next run
+    cache = ResultsCache(tmp_path)
+    for i in good:
+        assert cache.get(specs[i].cache_key()) is not None
+
+
+def test_repeated_pool_deaths_degrade_to_serial(tmp_path):
+    specs = grid(5, bad_at=2)
+    runner = SweepRunner(
+        jobs=2,
+        cache=ResultsCache(tmp_path),
+        execute=worker_only_killer_execute,
+        retries=1,
+        strict=False,
+        max_pool_respawns=0,  # first breakage forces the serial fallback
+    )
+    results = runner.run(specs)
+    assert results[2] is None
+    assert all(results[i] is not None for i in (0, 1, 3, 4))
+    assert len(runner.dead_letters) == 1
+    # the fallback ran the killer in-process, where it fails softly
+    assert "injected crash (serial fallback)" in runner.dead_letters[0].error
+
+
+# -- equivalence guarantees stay intact ----------------------------------------------
+
+
+def test_fault_free_supervised_run_matches_unsupervised(tmp_path):
+    import json
+
+    specs = grid(4)
+    plain = SweepRunner(execute=ok_execute, use_cache=False).run(specs)
+    supervised = SweepRunner(
+        execute=ok_execute,
+        use_cache=False,
+        retries=3,
+        spec_timeout=60.0,
+    ).run(specs)
+    assert json.dumps([r.to_json_dict() for r in plain], sort_keys=True) == (
+        json.dumps([r.to_json_dict() for r in supervised], sort_keys=True)
+    )
+
+
+def test_validation_rejects_bad_supervision_parameters():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        SweepRunner(retries=-1)
+    with pytest.raises(ConfigError):
+        SweepRunner(spec_timeout=0.0)

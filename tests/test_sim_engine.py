@@ -338,3 +338,121 @@ def test_interrupt_with_non_exception_rejected():
     handle = sim.process(proc())
     with pytest.raises(SimulationError):
         handle.interrupt("oops")
+
+
+# -- stall watchdog / deadlock diagnosis ---------------------------------------------
+
+
+def test_run_process_deadlock_error_names_blocked_processes():
+    from repro.errors import DeadlockError
+
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event("never-fires")
+
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run_process(stuck(), name="stuck-proc")
+    err = excinfo.value
+    assert ("stuck-proc", "event 'never-fires'") in err.blocked
+    assert "stuck-proc" in str(err)
+    assert "never-fires" in str(err)
+
+
+def test_blocked_processes_describe_their_wait_targets():
+    sim = Simulator()
+
+    def on_event():
+        yield sim.event("ack")
+
+    def on_delay():
+        yield ns(5)
+
+    sim.process(on_event(), name="waiter")
+    sim.process(on_delay(), name="sleeper")
+    sim.run(until=0)  # let both reach their first yield, nothing fires
+    blocked = dict(sim.blocked_processes())
+    assert blocked["waiter"] == "event 'ack'"
+    assert blocked["sleeper"].startswith("delay ")
+
+
+def test_wall_clock_stall_raises_with_snapshot():
+    from repro.errors import SimStallError
+    from repro.sim import StallWatchdog
+
+    sim = Simulator()
+
+    def spin():
+        while True:
+            yield 1
+
+    sim.process(spin(), name="spinner")
+    watchdog = StallWatchdog(wall_clock_limit_s=0.05, check_interval_events=64)
+    with pytest.raises(SimStallError) as excinfo:
+        sim.run(watchdog=watchdog)
+    snapshot = excinfo.value.snapshot
+    assert snapshot["time_ps"] == sim.now
+    assert snapshot["events_processed"] > 0
+    assert ("spinner", "delay 1ps") in snapshot["blocked"]
+
+
+def test_deadlock_detected_on_queue_drain_when_enabled():
+    from repro.errors import DeadlockError
+    from repro.sim import StallWatchdog
+
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event("missing-ack")
+
+    sim.process(stuck(), name="orphan")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run(watchdog=StallWatchdog(detect_deadlock=True))
+    assert ("orphan", "event 'missing-ack'") in excinfo.value.blocked
+
+
+def test_drain_without_blocked_processes_passes_deadlock_detection():
+    from repro.sim import StallWatchdog
+
+    sim = Simulator()
+
+    def quick():
+        yield 5
+        return "done"
+
+    handle = sim.process(quick())
+    sim.run(watchdog=StallWatchdog(detect_deadlock=True))
+    assert handle.value == "done"
+
+
+def test_process_wide_watchdog_install_and_clear():
+    from repro.errors import SimStallError
+    from repro.sim import (
+        StallWatchdog,
+        active_watchdog,
+        clear_watchdog,
+        install_watchdog,
+    )
+
+    sim = Simulator()
+
+    def spin():
+        while True:
+            yield 1
+
+    sim.process(spin(), name="spinner")
+    install_watchdog(StallWatchdog(wall_clock_limit_s=0.05, check_interval_events=64))
+    try:
+        assert active_watchdog() is not None
+        with pytest.raises(SimStallError):
+            sim.run()  # picks up the installed watchdog implicitly
+    finally:
+        clear_watchdog()
+    assert active_watchdog() is None
+
+
+def test_watchdog_rejects_nonpositive_budget():
+    from repro.sim import StallWatchdog
+
+    with pytest.raises(SimulationError):
+        StallWatchdog(wall_clock_limit_s=0.0)
