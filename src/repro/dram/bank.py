@@ -23,6 +23,12 @@ ROW_HIT = "row_hit"
 ROW_MISS = "row_miss"
 ROW_CONFLICT = "row_conflict"
 
+_CATEGORY_STAT = {
+    ROW_HIT: "dram.row_hit",
+    ROW_MISS: "dram.row_miss",
+    ROW_CONFLICT: "dram.row_conflict",
+}
+
 
 class Bank:
     """One DRAM bank's timeline state."""
@@ -126,13 +132,16 @@ class Rank:
         if category != ROW_HIT:
             self._recent_activates.append(bank.activated_at)
             self.stats.add("dram.activates")
-        self.stats.add(f"dram.{category}")
+        self.stats.add(_CATEGORY_STAT[category])
         # serialise the burst on the rank's shared data bus
         burst_start = max(data_ready, self._bus_free_at)
         done = burst_start + self.timing.tburst_ps
         self._bus_free_at = done
         kind = "write" if is_write else "read"
-        self.stats.add(f"dram.{kind}_bytes", self.timing.burst_bytes)
+        self.stats.add(
+            "dram.write_bytes" if is_write else "dram.read_bytes",
+            self.timing.burst_bytes,
+        )
         if self.sim is not None and self.sim.trace.enabled:
             self.sim.trace.complete(
                 "dram",

@@ -8,14 +8,35 @@ reordering window) before falling back to the oldest request.  Row-miss
 latency is hidden whenever row-hit traffic exists — the main effect an
 FR-FCFS scheduler contributes at this abstraction level.
 
+Scheduling is *indexed* (Ramulator-style) rather than scanned: pending
+requests are bucketed per ``(rank, bank, row)`` in arrival order, and a
+lazy min-heap of row-hit candidates — the arrival-order head of each
+bucket whose row is currently open — gives the first-ready pick in
+O(log banks) instead of an O(window) deque walk.  The indexed pick is
+provably the request the legacy window scan would have chosen:
+
+* queue position is monotonic in the arrival sequence number, so the
+  earliest-arrival row hit overall is also the lowest-index row hit; if
+  *it* falls outside the reorder window, no row hit is inside it;
+* its live queue position is recovered in O(log window) from the arrival
+  number minus the count of younger requests already promoted out of the
+  middle (tracked in a tiny sorted list);
+* ties cannot occur — arrival numbers are unique.
+
+``legacy_scan=True`` keeps the original O(window) scan alive for the
+equivalence suite (``tests/test_frfcfs_equivalence.py``) and the
+``repro.perf`` before/after benchmark.
+
 The controller is a drop-in layer: construct it over a module and
 ``submit`` byte-addressed requests.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
-from typing import Deque, List, NamedTuple
+from heapq import heappop, heappush
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dram.address import LINE_BYTES
 from repro.dram.module import DRAMModule
@@ -28,13 +49,42 @@ DEFAULT_REORDER_WINDOW = 16
 ISSUE_SLOT_PS = 3_300
 
 
-class _LineRequest(NamedTuple):
-    rank: int
-    bank: int
-    row: int
-    is_write: bool
-    done: SimEvent
-    remaining: List[int]  # shared countdown across a request's lines
+class _LineRequest:
+    """One pending cache-line access (arrival-numbered, index-linked)."""
+
+    __slots__ = (
+        "seq",
+        "rank",
+        "bank",
+        "row",
+        "is_write",
+        "done",
+        "remaining",
+        "alive",
+        "in_heap",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        rank: int,
+        bank: int,
+        row: int,
+        is_write: bool,
+        done: SimEvent,
+        remaining: List[int],
+    ) -> None:
+        self.seq = seq
+        self.rank = rank
+        self.bank = bank
+        self.row = row
+        self.is_write = is_write
+        self.done = done
+        self.remaining = remaining  # shared countdown across a request's lines
+        #: False once issued (lazy deletion marker for the arrival deque).
+        self.alive = True
+        #: whether a (seq, self) entry currently sits in the candidate heap.
+        self.in_heap = False
 
 
 class FRFCFSController:
@@ -45,21 +95,38 @@ class FRFCFSController:
         sim: Simulator,
         module: DRAMModule,
         reorder_window: int = DEFAULT_REORDER_WINDOW,
+        legacy_scan: bool = False,
     ) -> None:
         if reorder_window <= 0:
             raise SimulationError("reorder window must be positive")
         self.sim = sim
         self.module = module
         self.reorder_window = reorder_window
+        #: use the original O(window) deque scan instead of the indexed
+        #: structures (kept for equivalence tests and benchmarking).
+        self.legacy_scan = legacy_scan
+        self._seq = 0
+        #: arrival order; the indexed path leaves issued entries in place
+        #: (``alive=False``) and cleans them lazily at the head.
         self._queue: Deque[_LineRequest] = deque()
+        self._live = 0
+        #: (rank, bank, row) -> pending requests in arrival order (live only).
+        self._by_row: Dict[Tuple[int, int, int], Deque[_LineRequest]] = {}
+        #: lazy min-heap of (seq, request) row-hit candidates.
+        self._hit_heap: List[Tuple[int, _LineRequest]] = []
+        #: arrival numbers of requests promoted out of the queue's middle
+        #: and not yet reached by head cleanup (sorted, ≤ window entries).
+        self._promoted: List[int] = []
         self._running = False
         self.row_hits_scheduled = 0
         self.requests = 0
+        #: arrival numbers in issue order (equivalence-test instrumentation).
+        self.pick_log: Optional[List[int]] = None
 
     @property
     def queue_depth(self) -> int:
         """Pending line requests."""
-        return len(self._queue)
+        return len(self._queue) if self.legacy_scan else self._live
 
     def submit(self, offset: int, nbytes: int, is_write: bool) -> SimEvent:
         """Queue a byte-addressed request; event fires when all lines done."""
@@ -75,36 +142,123 @@ class FRFCFSController:
             line_start += LINE_BYTES
         remaining = [len(lines)]
         for loc in lines:
-            self._queue.append(
-                _LineRequest(loc.rank, loc.bank, loc.row, is_write, done, remaining)
+            self._seq += 1
+            request = _LineRequest(
+                self._seq, loc.rank, loc.bank, loc.row, is_write, done, remaining
             )
+            self._queue.append(request)
+            if not self.legacy_scan:
+                self._index(request)
         self.requests += 1
         if not self._running:
             self._running = True
             self.sim.process(self._scheduler(), name="frfcfs.sched")
         return done
 
-    def _pick(self) -> _LineRequest:
-        """FR-FCFS: first row hit within the window, else the oldest."""
+    # -- indexed bookkeeping ---------------------------------------------------------
+
+    def _index(self, request: _LineRequest) -> None:
+        """Add a fresh arrival to the row buckets (and heap when first-ready)."""
+        self._live += 1
+        key = (request.rank, request.bank, request.row)
+        bucket = self._by_row.get(key)
+        if bucket is None:
+            bucket = self._by_row[key] = deque()
+        bucket.append(request)
+        bank = self.module.ranks[request.rank].banks[request.bank]
+        if bank.open_row == request.row:
+            self._offer(bucket[0])
+
+    def _offer(self, request: _LineRequest) -> None:
+        """Push a bucket head into the candidate heap (idempotent)."""
+        if not request.in_heap:
+            request.in_heap = True
+            heappush(self._hit_heap, (request.seq, request))
+
+    def _retire(self, request: _LineRequest, at_head: bool) -> None:
+        """Remove an issued request from every index structure."""
+        request.alive = False
+        self._live -= 1
+        key = (request.rank, request.bank, request.row)
+        bucket = self._by_row[key]
+        bucket.popleft()  # buckets are issued strictly in arrival order
+        if not bucket:
+            del self._by_row[key]
+        if at_head:
+            self._queue.popleft()
+        else:
+            insort(self._promoted, request.seq)
+
+    def _after_issue(self, request: _LineRequest) -> None:
+        """The issued access just (re)opened its row: arm the next candidate."""
+        bucket = self._by_row.get((request.rank, request.bank, request.row))
+        if bucket:
+            self._offer(bucket[0])
+
+    def _pick_indexed(self) -> _LineRequest:
+        """O(log) first-ready pick, bit-equivalent to the legacy scan."""
+        queue = self._queue
+        promoted = self._promoted
+        while not queue[0].alive:  # lazy head cleanup (seqs leave _promoted)
+            queue.popleft()
+            del promoted[0]
+        heap = self._hit_heap
+        banks = self.module.ranks
+        while heap:
+            seq, candidate = heap[0]
+            if (
+                not candidate.alive
+                or banks[candidate.rank].banks[candidate.bank].open_row
+                != candidate.row
+            ):
+                heappop(heap)
+                candidate.in_heap = False
+                continue
+            # live queue position = arrivals since the head, minus the ones
+            # already promoted out of the middle below this seq
+            position = (seq - queue[0].seq) - bisect_left(promoted, seq)
+            if position < self.reorder_window:
+                heappop(heap)
+                candidate.in_heap = False
+                self._retire(candidate, at_head=position == 0)
+                self.row_hits_scheduled += 1
+                return candidate
+            break  # the earliest hit is outside the window: no hit at all
+        oldest = queue[0]
+        self._retire(oldest, at_head=True)
+        return oldest
+
+    def _pick_legacy(self) -> _LineRequest:
+        """Original FR-FCFS window scan (reference implementation)."""
         window = min(self.reorder_window, len(self._queue))
         for index in range(window):
             request = self._queue[index]
             bank = self.module.ranks[request.rank].banks[request.bank]
             if bank.open_row == request.row:
                 del self._queue[index]
-                if index > 0:
-                    self.row_hits_scheduled += 1
+                self.row_hits_scheduled += 1
                 return request
         return self._queue.popleft()
 
+    def _pick(self) -> _LineRequest:
+        """FR-FCFS: first row hit within the window, else the oldest."""
+        if self.legacy_scan:
+            return self._pick_legacy()
+        return self._pick_indexed()
+
     def _scheduler(self):
-        while self._queue:
+        legacy = self.legacy_scan
+        while (len(self._queue) if legacy else self._live) > 0:
             request = self._pick()
+            if self.pick_log is not None:
+                self.pick_log.append(request.seq)
             rank = self.module.ranks[request.rank]
             issued_at = self.sim.now
             finish = rank.access_line(
                 issued_at, request.bank, request.row, request.is_write
             )
+            if not legacy:
+                self._after_issue(request)
             if self.sim.trace.enabled:
                 self.sim.trace.complete(
                     "dram",

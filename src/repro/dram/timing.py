@@ -10,6 +10,7 @@ paper configures its DRAM from the Micron LR-DIMM datasheet [62].
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict
 
 from repro.errors import ConfigError
@@ -50,62 +51,62 @@ class DRAMTiming:
 
     # -- derived latencies (picoseconds) ------------------------------------
 
-    @property
+    @cached_property
     def tcas_ps(self) -> int:
         """CAS (read) latency."""
         return ns(self.cl_ck * self.tck_ns)
 
-    @property
+    @cached_property
     def trcd_ps(self) -> int:
         """ACT-to-RD/WR delay."""
         return ns(self.trcd_ck * self.tck_ns)
 
-    @property
+    @cached_property
     def trp_ps(self) -> int:
         """Precharge time."""
         return ns(self.trp_ck * self.tck_ns)
 
-    @property
+    @cached_property
     def tras_ps(self) -> int:
         """Minimum row-open time."""
         return ns(self.tras_ns)
 
-    @property
+    @cached_property
     def trrd_ps(self) -> int:
         """ACT-to-ACT (same rank) spacing."""
         return ns(self.trrd_l_ns)
 
-    @property
+    @cached_property
     def tfaw_ps(self) -> int:
         """Four-activate window."""
         return ns(self.tfaw_ns)
 
-    @property
+    @cached_property
     def twr_ps(self) -> int:
         """Write recovery."""
         return ns(self.twr_ns)
 
-    @property
+    @cached_property
     def trfc_ps(self) -> int:
         """Refresh-cycle time."""
         return ns(self.trfc_ns)
 
-    @property
+    @cached_property
     def trefi_ps(self) -> int:
         """Average refresh interval."""
         return ns(self.trefi_ns)
 
-    @property
+    @cached_property
     def tburst_ps(self) -> int:
         """Time to stream one burst (BL/2 clocks for DDR)."""
         return ns(self.burst_length / 2 * self.tck_ns)
 
-    @property
+    @cached_property
     def burst_bytes(self) -> int:
         """Bytes delivered by one burst (64 for BL8 x64)."""
         return self.burst_length * self.bus_bytes
 
-    @property
+    @cached_property
     def rank_bandwidth_gbps(self) -> float:
         """Peak per-rank data bandwidth in GB/s."""
         return self.data_rate_mtps * self.bus_bytes / 1000.0

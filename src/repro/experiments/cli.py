@@ -22,6 +22,10 @@ resumes from the cache.  Failing points are retried (``--retries``,
 capped exponential backoff) and quarantined into a dead-letter report
 instead of aborting the sweep; ``--spec-timeout`` bounds each point's
 wall-clock time and reports *where* a hung simulation was stuck.
+Quarantined specs persist to ``dead_letters.json`` in the cache
+directory, so reruns skip known-bad points without burning their retry
+budget again; ``--retry-dead-letter`` re-attempts them and clears the
+record on success.
 """
 
 from __future__ import annotations
@@ -155,6 +159,12 @@ def main(argv=None) -> int:
         help="per-grid-point wall-clock budget; a hung simulation is "
         "cut off and reported with its blocked processes (default: none)",
     )
+    parser.add_argument(
+        "--retry-dead-letter",
+        action="store_true",
+        help="re-attempt grid points the persisted dead-letter list marks "
+        "as known-bad (default: skip them without re-simulating)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -182,6 +192,7 @@ def main(argv=None) -> int:
         use_cache=not args.no_cache,
         retries=args.retries,
         spec_timeout=args.spec_timeout,
+        retry_dead_letter=args.retry_dead_letter,
     )
     interrupted = False
     failed_experiments = 0
@@ -232,7 +243,12 @@ def _print_cache_stats(grid_runner: "sweep_runner.SweepRunner") -> None:
     hits, misses = stats["cache.hits"], stats["cache.misses"]
     total = hits + misses
     rate = f" ({hits / total:.0%} hit rate)" if total else ""
-    print(f"\n[cache] cache.hits={hits} cache.misses={misses}{rate}")
+    skipped = (
+        f" dead_letter.skipped={grid_runner.skipped_dead}"
+        if grid_runner.skipped_dead
+        else ""
+    )
+    print(f"\n[cache] cache.hits={hits} cache.misses={misses}{rate}{skipped}")
 
 
 def _print_dead_letters(grid_runner: "sweep_runner.SweepRunner") -> None:

@@ -63,6 +63,7 @@ from repro.experiments.common import (
     run_optimized,
     threads_for,
 )
+from repro.experiments.deadletter import DeadLetterStore
 from repro.faults import FaultSchedule, LinkDown
 from repro.interconnect.topology import Topology
 from repro.mapping.placement import distance_aware_placement, random_placement
@@ -363,6 +364,8 @@ class SweepRunner:
         spec_timeout: Optional[float] = None,
         strict: bool = True,
         max_pool_respawns: int = MAX_POOL_RESPAWNS,
+        dead_letter_store: Optional[Union[DeadLetterStore, str]] = None,
+        retry_dead_letter: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -385,10 +388,23 @@ class SweepRunner:
         #: :attr:`dead_letters`.
         self.strict = strict
         self.max_pool_respawns = max_pool_respawns
+        #: persisted quarantine: a rerun skips specs recorded here unless
+        #: :attr:`retry_dead_letter` is set; fresh quarantines are written
+        #: through, and a skipped-then-retried spec that succeeds is
+        #: removed.
+        self.dead_letter_store = (
+            DeadLetterStore(dead_letter_store)
+            if isinstance(dead_letter_store, str)
+            else dead_letter_store
+        )
+        #: re-attempt specs the persisted store marks dead.
+        self.retry_dead_letter = retry_dead_letter
         #: specs served without simulating (disk hits + in-batch dedup).
         self.hits = 0
         #: simulations actually attempted.
         self.misses = 0
+        #: specs skipped because the persisted store marks them dead.
+        self.skipped_dead = 0
         #: quarantined specs across every batch this runner executed.
         self.dead_letters: List[DeadLetter] = []
 
@@ -439,18 +455,61 @@ class SweepRunner:
             miss_keys = [spec.cache_key() for spec in spec_list]
             targets = [[index] for index in range(len(spec_list))]
 
+        # known-bad specs from a previous run: skip without re-attempting
+        # (unless retry_dead_letter asks for another try)
+        skipped: List[DeadLetter] = []
+        skipped_indices = 0
+        store = self.dead_letter_store
+        if store is not None and not self.retry_dead_letter:
+            keep: List[int] = []
+            for pos, key in enumerate(miss_keys):
+                known = store.known(key)
+                if known is None:
+                    keep.append(pos)
+                    continue
+                skipped_indices += len(targets[pos])
+                skipped.append(
+                    self._dead_letter(
+                        miss_specs[pos],
+                        key,
+                        int(known.get("attempts", 0)),
+                        "skipped: persisted dead-letter "
+                        f"({known.get('error', 'unknown failure')}); "
+                        "rerun with --retry-dead-letter to re-attempt",
+                        str(known.get("diagnosis", "")),
+                    )
+                )
+            if len(keep) != len(miss_keys):
+                miss_specs = [miss_specs[pos] for pos in keep]
+                miss_keys = [miss_keys[pos] for pos in keep]
+                targets = [targets[pos] for pos in keep]
+
         def checkpoint(pos: int, result: RunResult) -> None:
             if self.use_cache:
                 self.cache.put(
                     miss_keys[pos], result, spec=miss_specs[pos].to_json_dict()
                 )
+            if store is not None:
+                store.discard(miss_keys[pos])  # succeeded: no longer dead
             for index in targets[pos]:
                 results[index] = result
 
         failures = self._execute_supervised(miss_specs, miss_keys, checkpoint)
 
+        if store is not None:
+            for letter in failures:
+                store.record(
+                    letter.key,
+                    letter.spec.to_json_dict(),
+                    letter.attempts,
+                    letter.error,
+                    letter.diagnosis,
+                )
+
         self.misses += len(miss_specs)
-        self.hits += len(spec_list) - len(miss_specs)
+        self.hits += len(spec_list) - len(miss_specs) - skipped_indices
+        self.skipped_dead += len(skipped)
+        failures = skipped + failures
         if failures:
             self.dead_letters.extend(failures)
             if self.strict:
@@ -736,10 +795,17 @@ def configure(
     retries: int = 1,
     spec_timeout: Optional[float] = None,
     strict: bool = True,
+    retry_dead_letter: bool = False,
 ) -> SweepRunner:
-    """Install (and return) the default runner experiments will use."""
+    """Install (and return) the default runner experiments will use.
+
+    The dead-letter store lives next to the results cache: configuring a
+    cache directory makes quarantines persistent (reruns skip them), with
+    ``retry_dead_letter`` forcing a fresh attempt.
+    """
     global _default_runner
     cache = ResultsCache(cache_dir) if (cache_dir and use_cache) else None
+    store = DeadLetterStore(cache.cache_dir) if cache is not None else None
     _default_runner = SweepRunner(
         jobs=jobs,
         cache=cache,
@@ -747,6 +813,8 @@ def configure(
         retries=retries,
         spec_timeout=spec_timeout,
         strict=strict,
+        dead_letter_store=store,
+        retry_dead_letter=retry_dead_letter,
     )
     return _default_runner
 

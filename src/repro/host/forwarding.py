@@ -52,6 +52,8 @@ class ForwardController:
             latency_ps=ns(config.host.forward_latency_ns),
             name="host.fwd.engine",
         )
+        # per-op engine cost in ps, converted once instead of per forward
+        self._per_op_ps = ns(ENGINE_PER_OP_NS)
 
     def forward(
         self,
@@ -106,7 +108,7 @@ class ForwardController:
         yield src_channel.transfer(wire_bytes, kind="fwd")
         # the routing-node engine: per-packet cost + copy bandwidth +
         # the fixed GEM5-profiled forward latency (pipelined)
-        yield self.engine.transfer(wire_bytes, extra_ps=ns(ENGINE_PER_OP_NS))
+        yield self.engine.transfer(wire_bytes, extra_ps=self._per_op_ps)
         yield dst_channel.transfer(wire_bytes, kind="fwd")
         self.stats.add("fwd.ops")
         self.stats.add("fwd.bytes", wire_bytes)

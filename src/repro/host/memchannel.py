@@ -41,10 +41,15 @@ class MemoryChannel:
             latency_ps=ns(config.bus_latency_ns),
             name=f"ch{channel_id}.bus",
         )
+        # per-kind stat keys, interned once — transfer() runs per beat
+        self._kind_keys = {"data": "bus.data_bytes"}
 
     def transfer(self, nbytes: int, kind: str = "data") -> SimEvent:
         """Move ``nbytes`` over the channel (host<->any DIMM on it)."""
-        self.stats.add(f"bus.{kind}_bytes", nbytes)
+        key = self._kind_keys.get(kind)
+        if key is None:
+            key = self._kind_keys[kind] = f"bus.{kind}_bytes"
+        self.stats.add(key, nbytes)
         self.stats.add("bus.bytes", nbytes)
         return self.bus.transfer(nbytes)
 

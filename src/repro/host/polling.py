@@ -20,7 +20,7 @@ every IDC mechanism that relies on CPU forwarding.
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol
+from typing import Dict, List, Protocol, Tuple
 
 from repro.config import HostConfig, SystemConfig
 from repro.errors import ConfigError
@@ -58,13 +58,18 @@ class _Base:
         self.host: HostConfig = config.host
         self.stats = stats
         self.channels: List[MemoryChannel] = []
+        # notice() runs on every forwarded packet: convert the configured
+        # nanosecond knobs to picoseconds once
+        self._visit_ps = ns(self.host.poll_visit_ns)
+        self._interrupt_ps = ns(self.host.interrupt_latency_ns)
+        self._repoll_ps = ns(self.host.proxy_repoll_ns)
 
     def configure(self, channels: List[MemoryChannel]) -> None:
         self.channels = list(channels)
 
     def _fire_after(self, delay_ps: int) -> SimEvent:
         event = self.sim.event(name="poll.notice")
-        self.sim.schedule(delay_ps, lambda _arg: event.succeed(None), None)
+        self.sim.schedule(delay_ps, event.succeed, None)
         self.stats.add("poll.notices")
         self.stats.histogram("poll.notice_delay_ns").record(delay_ps / 1000)
         if self.sim.trace.enabled:
@@ -86,20 +91,32 @@ class BaselinePolling(_Base):
     name = "baseline"
     uses_proxy = False
 
+    def __init__(self, sim: Simulator, config: SystemConfig, stats: StatRegistry) -> None:
+        super().__init__(sim, config, stats)
+        #: dimm_id -> (k*visit, loop) for its channel's round-robin scan.
+        self._scan_slots: Dict[int, Tuple[int, int]] = {}
+
     def configure(self, channels: List[MemoryChannel]) -> None:
         super().configure(channels)
-        visit = ns(self.host.poll_visit_ns)
+        visit = self._visit_ps
         busy = ns(self.host.poll_busy_ns)
         for channel in channels:
             channel.set_polling_load(min(0.95, busy / visit))
 
     def notice(self, dimm_id: int) -> SimEvent:
-        visit = ns(self.host.poll_visit_ns)
-        dimms_here = self.config.dimms_on_channel(self.config.channel_of(dimm_id))
-        loop = visit * len(dimms_here)
+        visit = self._visit_ps
+        slot = self._scan_slots.get(dimm_id)
+        if slot is None:
+            dimms_here = self.config.dimms_on_channel(
+                self.config.channel_of(dimm_id)
+            )
+            slot = self._scan_slots[dimm_id] = (
+                dimms_here.index(dimm_id) * visit,
+                visit * len(dimms_here),
+            )
         # round-robin within the channel: DIMM at index k is visited at
         # t = k*visit (mod loop)
-        phase = (dimms_here.index(dimm_id) * visit - self.sim.now) % loop
+        phase = (slot[0] - self.sim.now) % slot[1]
         return self._fire_after(phase + visit)
 
 
@@ -114,7 +131,7 @@ class InterruptPolling(_Base):
         done = self.sim.event(name="poll.notice")
 
         def proc():
-            yield ns(self.host.interrupt_latency_ns)
+            yield self._interrupt_ps
             # ALERT_N is shared: scan every DIMM on the channel to find
             # the requester (Sec. IV-A).
             for _ in channel.dimm_ids:
@@ -150,18 +167,17 @@ class ProxyPolling(_Base):
     def configure(self, channels: List[MemoryChannel]) -> None:
         super().configure(channels)
         busy = ns(self.host.poll_busy_ns)
-        repoll = ns(self.host.proxy_repoll_ns)
+        repoll = self._repoll_ps
         for proxy in self._proxies.values():
             channel = channels[self.config.channel_of(proxy)]
             channel.set_polling_load(min(0.95, busy / repoll))
 
     def notice(self, dimm_id: int) -> SimEvent:
-        repoll = ns(self.host.proxy_repoll_ns)
         proxy = self.proxy_of(dimm_id)
         group = self.config.group_of(proxy)
         # proxies are visited on a staggered repoll schedule
-        phase = (group * ns(self.host.poll_visit_ns) - self.sim.now) % repoll
-        return self._fire_after(phase + ns(self.host.poll_visit_ns))
+        phase = (group * self._visit_ps - self.sim.now) % self._repoll_ps
+        return self._fire_after(phase + self._visit_ps)
 
 
 class ProxyInterruptPolling(ProxyPolling):
@@ -179,7 +195,7 @@ class ProxyInterruptPolling(ProxyPolling):
         done = self.sim.event(name="poll.notice")
 
         def proc():
-            yield ns(self.host.interrupt_latency_ns)
+            yield self._interrupt_ps
             yield channel.transfer(self.host.poll_read_bytes, kind="poll")
             self.stats.add("poll.scan_reads")
             self.stats.add("poll.notices")

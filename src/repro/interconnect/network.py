@@ -112,6 +112,17 @@ class PacketNetwork:
                 state.directions.append(link)
         self.watchdog = LinkWatchdog(threshold=watchdog_threshold, name=name)
         self.watchdog.on_dead = self._on_watchdog_dead
+        # event/process labels are fixed per network: build them once
+        # instead of formatting a fresh string on every packet
+        self._n_send_self = f"{name}.send.self"
+        self._n_send = f"{name}.send"
+        self._n_route = f"{name}.route"
+        self._n_stream_self = f"{name}.stream.self"
+        self._n_stream = f"{name}.stream"
+        self._n_stream_route = f"{name}.stream.route"
+        self._n_broadcast = f"{name}.broadcast"
+        self._n_bc = f"{name}.bc"
+        self._n_bc_finish = f"{name}.bc.finish"
 
     @property
     def links(self) -> Dict[Edge, BandwidthResource]:
@@ -216,12 +227,12 @@ class PacketNetwork:
         it catch the exception at their ``yield``.
         """
         if src == dst:
-            event = self.sim.event(name=f"{self.name}.send.self")
-            self.sim.schedule(0, lambda _arg: event.succeed(wire_bytes), None)
+            event = self.sim.event(name=self._n_send_self)
+            self.sim.schedule(0, event.succeed, wire_bytes)
             return event
-        done = self.sim.event(name=f"{self.name}.send")
+        done = self.sim.event(name=self._n_send)
         self.sim.process(
-            self._route_proc(src, dst, wire_bytes, done), name=f"{self.name}.route"
+            self._route_proc(src, dst, wire_bytes, done), name=self._n_route
         )
         return done
 
@@ -349,13 +360,13 @@ class PacketNetwork:
         on exhaustion.
         """
         if src == dst:
-            event = self.sim.event(name=f"{self.name}.stream.self")
-            self.sim.schedule(0, lambda _arg: event.succeed(wire_bytes), None)
+            event = self.sim.event(name=self._n_stream_self)
+            self.sim.schedule(0, event.succeed, wire_bytes)
             return event
-        done = self.sim.event(name=f"{self.name}.stream")
+        done = self.sim.event(name=self._n_stream)
         self.sim.process(
             self._stream_proc(src, dst, wire_bytes, done),
-            name=f"{self.name}.stream.route",
+            name=self._n_stream_route,
         )
         return done
 
@@ -383,11 +394,9 @@ class PacketNetwork:
                 trace.end(span, status="failed")
                 done.fail(LinkFailure(f"{self.name}: no live route {src}->{dst}"))
                 return
-            dead = [
-                self.topology.edge_key(a, b)
-                for a, b in zip(path, path[1:])
-                if not self._state[self.topology.edge_key(a, b)].up
-            ]
+            edge_key = self.topology.edge_key
+            keys = [edge_key(a, b) for a, b in zip(path, path[1:])]
+            dead = [key for key in keys if not self._state[key].up]
             if not dead:
                 transfers = [
                     self.link(a, b).transfer(wire_bytes)
@@ -436,17 +445,17 @@ class PacketNetwork:
         :class:`LinkFailure`; the IDC layer then re-issues the whole group
         delivery through the host.
         """
-        done = self.sim.event(name=f"{self.name}.broadcast")
+        done = self.sim.event(name=self._n_broadcast)
         try:
             tree = self.topology.broadcast_tree(root)
         except RoutingError as exc:
             self.stats.add("dl.unroutable")
             failure = LinkFailure(f"{self.name}: flood from {root} cut off")
             failure.__cause__ = exc
-            self.sim.schedule(0, lambda _arg: done.fail(failure), None)
+            self.sim.schedule(0, done.fail, failure)
             return done
         if not tree:
-            self.sim.schedule(0, lambda _arg: done.succeed(0), None)
+            self.sim.schedule(0, done.succeed, 0)
             return done
         arrival: Dict[int, SimEvent] = {root: self.sim.event()}
         arrival[root].succeed(None)
@@ -479,7 +488,7 @@ class PacketNetwork:
         for parent, child in tree:
             arrival.setdefault(child, self.sim.event())
             children.append(
-                self.sim.process(forward(parent, child), name=f"{self.name}.bc")
+                self.sim.process(forward(parent, child), name=self._n_bc)
             )
 
         trace = self.sim.trace
@@ -507,7 +516,7 @@ class PacketNetwork:
             trace.end(span, status="delivered")
             done.succeed(wire_bytes)
 
-        self.sim.process(finish(), name=f"{self.name}.bc.finish")
+        self.sim.process(finish(), name=self._n_bc_finish)
         return done
 
     def total_busy_ps(self) -> int:

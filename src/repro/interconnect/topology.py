@@ -77,12 +77,26 @@ class Topology:
         self.name = name
         self.n = n
         self.edges = build_edges(name, n)
+        # the nominal wiring never changes after construction: both the
+        # canonical-key map (either direction -> sorted key) and the edge
+        # set are built once and shared by every edge_key() call
+        self._edge_keys: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for edge in self.edges:
+            self._edge_keys[edge] = edge
+            self._edge_keys[(edge[1], edge[0])] = edge
         self._down: Set[Tuple[int, int]] = set()
         self.route_recomputes = 0
         self._rebuild_routes()
 
     def _rebuild_routes(self) -> None:
-        """Recompute adjacency + routing tables over the live edges."""
+        """Recompute adjacency + routing tables over the live edges.
+
+        This is the single invalidation point for every derived routing
+        structure: next-hop tables, distance tables, and the memoized
+        path / broadcast-tree caches.  ``set_link_state`` funnels every
+        link-state change through here, so cached routes can never
+        outlive the topology state they were computed from.
+        """
         self._adjacency: Dict[int, List[int]] = {i: [] for i in range(self.n)}
         for a, b in self.live_edges:
             self._adjacency[a].append(b)
@@ -90,9 +104,15 @@ class Topology:
         for neighbors in self._adjacency.values():
             neighbors.sort()
         # routing table: _next_hop[src][dst] -> neighbor on a shortest path
-        self._next_hop: List[List[int]] = [
-            self._bfs_next_hops(src) for src in range(self.n)
-        ]
+        # (and _dist[src][dst] -> hop count, -1 when unreachable)
+        self._next_hop: List[List[int]] = []
+        self._dist: List[List[int]] = []
+        for src in range(self.n):
+            next_hops, dist = self._bfs_next_hops(src)
+            self._next_hop.append(next_hops)
+            self._dist.append(dist)
+        self._path_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._tree_cache: Dict[int, List[Tuple[int, int]]] = {}
 
     @property
     def live_edges(self) -> List[Tuple[int, int]]:
@@ -101,15 +121,12 @@ class Topology:
 
     def edge_key(self, a: int, b: int) -> Tuple[int, int]:
         """Canonical (sorted) key of an existing nominal edge."""
-        self._check(a)
-        self._check(b)
-        key = (a, b) if a < b else (b, a)
-        if key not in self._edge_set():
-            raise RoutingError(f"{self.name}: no edge {a}<->{b}")
-        return key
-
-    def _edge_set(self) -> Set[Tuple[int, int]]:
-        return set(self.edges)
+        try:
+            return self._edge_keys[(a, b)]
+        except KeyError:
+            self._check(a)
+            self._check(b)
+            raise RoutingError(f"{self.name}: no edge {a}<->{b}") from None
 
     def link_up(self, a: int, b: int) -> bool:
         """Whether the edge ``a<->b`` is currently marked up."""
@@ -144,7 +161,7 @@ class Topology:
         self._check(root)
         return {root} | {d for d in range(self.n) if self._next_hop[root][d] != -1}
 
-    def _bfs_next_hops(self, src: int) -> List[int]:
+    def _bfs_next_hops(self, src: int) -> Tuple[List[int], List[int]]:
         parent = [-1] * self.n
         dist = [-1] * self.n
         dist[src] = 0
@@ -164,7 +181,7 @@ class Topology:
             while parent[node] != src:
                 node = parent[node]
             next_hops[dst] = node
-        return next_hops
+        return next_hops, dist
 
     def neighbors(self, node: int) -> Sequence[int]:
         """Adjacent nodes of ``node``."""
@@ -183,7 +200,14 @@ class Topology:
         return hop
 
     def path(self, src: int, dst: int) -> List[int]:
-        """Full shortest path ``[src, ..., dst]``."""
+        """Full shortest path ``[src, ..., dst]``.
+
+        Memoized until the next link-state change; the caller gets a
+        private copy, so mutating the returned list is safe.
+        """
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached[:]
         self._check(src)
         self._check(dst)
         path = [src]
@@ -195,11 +219,19 @@ class Topology:
             guard += 1
             if guard > self.n:
                 raise RoutingError(f"routing loop {src}->{dst} in {self.name}")
-        return path
+        self._path_cache[(src, dst)] = path
+        return path[:]
 
     def hops(self, src: int, dst: int) -> int:
         """Shortest-path hop count."""
-        return len(self.path(src, dst)) - 1
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        distance = self._dist[src][dst]
+        if distance == -1:
+            raise RoutingError(f"no path from {src} to {dst} in {self.name}")
+        return distance
 
     def diameter(self) -> int:
         """Maximum shortest-path distance between any node pair."""
@@ -225,19 +257,22 @@ class Topology:
         covers just the root's connected component.
         """
         self._check(root)
-        seen = {root}
-        order: List[Tuple[int, int]] = []
-        queue = deque([root])
-        while queue:
-            node = queue.popleft()
-            for neighbor in self._adjacency[node]:
-                if neighbor not in seen:
-                    seen.add(neighbor)
-                    order.append((node, neighbor))
-                    queue.append(neighbor)
-        if require_all and len(seen) != self.n:
+        order = self._tree_cache.get(root)
+        if order is None:
+            seen = {root}
+            order = []
+            queue = deque([root])
+            while queue:
+                node = queue.popleft()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        order.append((node, neighbor))
+                        queue.append(neighbor)
+            self._tree_cache[root] = order
+        if require_all and len(order) != self.n - 1:
             raise RoutingError(f"{self.name}: broadcast from {root} cannot reach all")
-        return order
+        return order[:]
 
     def _check(self, node: int) -> None:
         if not 0 <= node < self.n:

@@ -34,6 +34,10 @@ from repro.trace.recorder import NULL_RECORDER
 
 ProcessGen = Generator[Any, Any, Any]
 
+#: sentinel bound for the run loop: an int compares smaller than +inf, so
+#: "no limit" needs no per-event None check.
+_NO_BOUND = float("inf")
+
 
 class StallWatchdog:
     """No-progress detector consulted by :meth:`Simulator.run`.
@@ -259,6 +263,12 @@ class Process:
 
     __slots__ = ("sim", "name", "done", "_gen", "_finished", "_epoch", "_blocked_on")
 
+    # Resume paths are allocation-slim on purpose: a timer wait schedules a
+    # bound method with the epoch as its argument (no closure), and an event
+    # wait registers one closure that defers through the heap via
+    # :meth:`_event_resume` (one tuple) — the deferral is what preserves
+    # same-timestamp FIFO ordering, so it must stay.
+
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         self.sim = sim
         self.name = name or getattr(gen, "__name__", "process")
@@ -309,6 +319,19 @@ class Process:
             return
         self._advance(throw, value)
 
+    def _timer_resume(self, epoch: int) -> None:
+        """Heap callback for plain-delay waits (arg is the wait epoch)."""
+        if self._finished or epoch != self._epoch:
+            return
+        self._advance(False, None)
+
+    def _event_resume(self, pair: Tuple[int, "SimEvent"]) -> None:
+        """Heap callback for event waits (arg is ``(epoch, event)``)."""
+        epoch, event = pair
+        if self._finished or epoch != self._epoch:
+            return
+        self._advance(event._failed, event._value)
+
     def _advance(self, throw: bool, value: Any) -> None:
         self._epoch += 1
         try:
@@ -340,14 +363,12 @@ class Process:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {target}"
                 )
-            self.sim.schedule(
-                target, lambda _arg: self._resume(epoch, False, None), None
-            )
+            self.sim.schedule(target, self._timer_resume, epoch)
         elif isinstance(target, (SimEvent, Process)):
             event = target.done if isinstance(target, Process) else target
             event.add_callback(
-                lambda ev: self.sim._schedule_now(
-                    lambda _arg: self._resume(epoch, ev.failed, ev.value), None
+                lambda ev, _e=epoch: self.sim._schedule_now(
+                    self._event_resume, (_e, ev)
                 )
             )
         elif isinstance(target, AllOf):
@@ -408,6 +429,8 @@ class Process:
 class Simulator:
     """The event loop: a heap of ``(time, seq, callback, arg)`` entries."""
 
+    __slots__ = ("_now", "_seq", "_queue", "_live", "trace")
+
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
@@ -457,10 +480,16 @@ class Simulator:
 
     def at(self, time: int, callback: Callable[[Any], None], arg: Any = None) -> None:
         """Run ``callback(arg)`` at absolute time ``time``."""
-        self.schedule(time - self._now, callback, arg)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (delay={time - self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, callback, arg))
 
     def _schedule_now(self, callback: Callable[[Any], None], arg: Any) -> None:
-        self.schedule(0, callback, arg)
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now, self._seq, callback, arg))
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a new process from a generator and return its handle."""
@@ -468,8 +497,8 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> SimEvent:
         """An event that fires ``delay`` picoseconds from now."""
-        event = self.event(name="timeout")
-        self.schedule(delay, lambda _arg: event.succeed(value), None)
+        event = SimEvent(self, name="timeout")
+        self.schedule(delay, event.succeed, value)
         return event
 
     def run(
@@ -504,22 +533,34 @@ class Simulator:
             if watchdog is not None and watchdog.deadline is not None
             else 0
         )
-        while self._queue:
-            time, _seq, callback, arg = self._queue[0]
-            if until is not None and time > until:
+        # hot loop: everything loop-invariant is hoisted into locals, the
+        # horizon/budget guards become plain comparisons against +inf
+        # sentinels, and watchdog polling is amortized onto a next-check
+        # threshold instead of a modulo per event.  Semantics (event order,
+        # clock movement, error behaviour) are identical to the plain loop.
+        queue = self._queue
+        pop = heapq.heappop
+        horizon = until if until is not None else _NO_BOUND
+        budget = max_events if max_events is not None else _NO_BOUND
+        next_check = check_every if check_every else _NO_BOUND
+        while queue:
+            entry = queue[0]
+            time = entry[0]
+            if time > horizon:
                 break
-            heapq.heappop(self._queue)
+            pop(queue)
             if tracing and time != self._now:
                 self._now = time
                 trace.on_time_advance(time)
             else:
                 self._now = time
-            callback(arg)
+            entry[2](entry[3])
             processed += 1
-            if max_events is not None and processed >= max_events:
+            if processed >= budget:
                 raise SimulationError(f"exceeded max_events={max_events}")
-            if check_every and processed % check_every == 0:
+            if processed >= next_check:
                 watchdog.check(self, processed)
+                next_check += check_every
         if watchdog is not None and watchdog.detect_deadlock and not self._queue:
             blocked = self.blocked_processes()
             if blocked:

@@ -50,6 +50,10 @@ class BandwidthResource:
         self.transfers = 0
         self._free_at = 0
         self._background = 0.0
+        # fixed event labels: the transfer/occupy fast paths must not
+        # rebuild them per call
+        self._n_transfer = f"{name}.transfer"
+        self._n_occupy = f"{name}.occupy"
 
     def set_background_load(self, fraction: float) -> None:
         """Reserve a constant fraction of the medium for background traffic.
@@ -101,8 +105,8 @@ class BandwidthResource:
         self.busy_ps += duration
         self.bytes_moved += nbytes
         self.transfers += 1
-        event = self.sim.event(name=f"{self.name}.transfer")
-        self.sim.at(end + self.latency_ps, lambda _arg: event.succeed(nbytes), None)
+        event = self.sim.event(name=self._n_transfer)
+        self.sim.at(end + self.latency_ps, event.succeed, nbytes)
         return event
 
     def occupy(self, duration_ps: int) -> SimEvent:
@@ -114,8 +118,8 @@ class BandwidthResource:
         self._free_at = end
         self.busy_ps += duration_ps
         self.transfers += 1
-        event = self.sim.event(name=f"{self.name}.occupy")
-        self.sim.at(end, lambda _arg: event.succeed(None), None)
+        event = self.sim.event(name=self._n_occupy)
+        self.sim.at(end, event.succeed, None)
         return event
 
 
@@ -135,6 +139,7 @@ class SlotResource:
         self._available = slots
         self._waiters: Deque[SimEvent] = deque()
         self.peak_in_use = 0
+        self._n_acquire = f"{name}.acquire"
 
     @property
     def in_use(self) -> int:
@@ -143,7 +148,7 @@ class SlotResource:
 
     def acquire(self) -> SimEvent:
         """Returns an event that fires once a slot has been granted."""
-        event = self.sim.event(name=f"{self.name}.acquire")
+        event = self.sim.event(name=self._n_acquire)
         if self._available > 0:
             self._available -= 1
             self.peak_in_use = max(self.peak_in_use, self.in_use)

@@ -86,3 +86,19 @@ def test_requests_counter():
     controller.submit(4096, 64, True)
     sim.run()
     assert controller.requests == 2
+
+
+@pytest.mark.parametrize("legacy", [False, True])
+def test_head_row_hit_is_counted(legacy):
+    # Regression: a row hit found at queue index 0 must count in
+    # row_hits_scheduled (the old scan only incremented for index > 0).
+    sim = Simulator()
+    module = DRAMModule(sim, DDR4_2400_LRDIMM, 1, StatRegistry())
+    controller = FRFCFSController(sim, module, legacy_scan=legacy)
+    timing = DDR4_2400_LRDIMM
+    # Four sequential same-row lines in one bank: after the first access
+    # opens the row, every later pick is a head-of-queue row hit.
+    for index in range(4):
+        controller.submit(index * 64 * timing.banks_per_rank, 64, False)
+    sim.run()
+    assert controller.row_hits_scheduled == 3

@@ -259,3 +259,68 @@ def test_concurrent_writers_of_the_same_key_both_leave_a_valid_entry(tmp_path):
     assert first is not None and second is not None
     assert first == second == fake_result(SPEC)
     assert list(tmp_path.glob("*.tmp")) == []
+
+
+# -- golden keys: seed-era cache entries must survive this refactor ------------------
+
+
+#: exact cache keys produced before the hot-path refactor.  The refactor
+#: preserves serialized results bit-for-bit, so CODE_VERSION stays at 2
+#: and every warm cache built against the seed tree must keep hitting.
+#: If a change alters simulated results, bump CODE_VERSION — these
+#: expectations then need regenerating alongside it.
+GOLDEN_KEYS = {
+    "cpu": "1c613094e091b56fcde3526e97b09b9567f4354a05a48a8755e8f193cea69b39",
+    "abc": "955069fab8494b6ffe19b2feda125404ca2ca7e792f705cd72b8a257494d5415",
+    "dimm_link": "a74c74329f67e22b4f262d574778a4ba775d55a127fbc25675cfa02458588c89",
+    "dl_opt": "127139ed497cc74502e7548876435b9e6eb724449a40440f1580935bbccaeb67",
+    "faulted": "ae8526ea4649d3b636e518383ed7368601fbb6629671c958a46d3c57acfb73fc",
+}
+
+GOLDEN_SPECS = {
+    "cpu": RunSpec(
+        config="4D-2C", workload="pagerank", size="tiny", kind="cpu", mechanism="cpu"
+    ),
+    "abc": RunSpec(config="4D-2C", workload="spmv_bc", size="tiny", mechanism="abc"),
+    "dimm_link": RunSpec(
+        config="4D-2C", workload="pagerank", size="tiny", mechanism="dimm_link"
+    ),
+    "dl_opt": RunSpec(
+        config="4D-2C", workload="pagerank", size="tiny", kind="optimized"
+    ),
+    "faulted": RunSpec(
+        config="8D-4C",
+        workload="uniform_random",
+        size="tiny",
+        seed=11,
+        mechanism="dimm_link",
+        fault_fraction=0.67,
+    ),
+}
+
+
+def test_code_version_is_unchanged_by_hot_path_refactor():
+    assert CODE_VERSION == 2
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_KEYS))
+def test_golden_cache_keys_are_stable(label):
+    assert GOLDEN_SPECS[label].cache_key() == GOLDEN_KEYS[label], (
+        "cache key drifted: pre-refactor warm caches would silently "
+        "re-simulate (or worse, a stale CODE_VERSION would serve results "
+        "from different code)"
+    )
+
+
+def test_seed_era_entry_still_warm_hits(tmp_path):
+    """An entry written under a golden key is served without re-simulating."""
+    spec = GOLDEN_SPECS["dimm_link"]
+    cache = ResultsCache(tmp_path)
+    cache.put(GOLDEN_KEYS["dimm_link"], fake_result(spec), spec=spec.to_json_dict())
+
+    execute = CountingExecute()
+    runner = SweepRunner(cache=ResultsCache(tmp_path), execute=execute)
+    result = runner.run([spec])[0]
+    assert execute.calls == 0  # pure warm hit across the refactor boundary
+    assert result == fake_result(spec)
+    assert runner.stats == {"cache.hits": 1, "cache.misses": 0}
