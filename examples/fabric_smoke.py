@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Fabric smoke test: a distributed sweep survives a SIGKILLed worker.
+
+Drives the crash-safe work fabric (:mod:`repro.fabric`) end to end with
+real worker *processes* against a shared file broker:
+
+* a real fig16-style grid is submitted to a broker directory;
+* two workers drain it; one is SIGKILLed while it provably holds a
+  lease on a healthy spec (mid-simulation);
+* one spec is sabotaged to crash on every attempt (the "injected
+  crasher").
+
+Then asserts the fabric contract:
+
+* the sweep **completes** — every healthy spec lands in the shared
+  cache, including the one the killed worker was holding;
+* the killed worker's lease is **reclaimed** (its journal records the
+  lease-expiry recovery) rather than wedging the queue;
+* **exactly** the injected crasher is quarantined into the farm-wide
+  dead-letter store, after its full retry budget;
+* a warm rerun of the same grid through broker mode replays from the
+  cache (>= 90% hit rate) — zero lost work.
+
+Run:  PYTHONPATH=src python examples/fabric_smoke.py [broker-dir]
+
+Exits nonzero (via assert) if any guarantee is violated; used as the CI
+fabric-smoke step.  (Internally re-execs itself with ``--worker`` to
+spawn the worker processes.)
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import fig16_bandwidth
+from repro.experiments.runner import SweepRunner, execute_spec
+from repro.fabric.broker import BrokerConfig, WorkBroker
+from repro.fabric.worker import Worker
+
+#: 3 CPU references + a 3x3 bandwidth sweep = 12 real tiny specs.
+SPECS = fig16_bandwidth.specs(
+    size="tiny",
+    bandwidths=(8.0, 25.6, 51.2),
+    config_names=("4D-2C",),
+    workload_names=("pagerank", "spmv", "bfs"),
+)
+
+CRASH_AT = 4  # spec index that raises on every attempt
+
+#: long enough that a live worker's heartbeat (TTL/3) never lapses,
+#: short enough that reclaiming the killed worker costs seconds.
+LEASE_TTL_S = 3.0
+
+
+def chaotic_execute(spec):
+    """The sabotage hook every worker runs: one spec always crashes."""
+    if spec == SPECS[CRASH_AT]:
+        raise RuntimeError("chaos: injected crasher")
+    return execute_spec(spec)
+
+
+def worker_main(root: str) -> None:
+    """``--worker`` mode: one pull-based fabric worker, drain and exit."""
+    worker = Worker(WorkBroker(root), execute=chaotic_execute, poll_interval_s=0.1)
+    worker.run()
+    print(f"[fabric-worker] {worker}")
+
+
+def spawn_worker(root: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--worker", root],
+        env=dict(os.environ, PYTHONPATH=os.pathsep.join(
+            [str(Path(__file__).resolve().parent.parent / "src")]
+            + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+        )),
+    )
+
+
+def wait_for_healthy_leased_record(broker, pid, crasher_key, timeout_s=120.0):
+    """Block until ``pid`` has journaled a lease on a *healthy* spec."""
+    needle = f"-{pid}-"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for key, record in broker.records().items():
+            if (
+                record.state == "leased"
+                and needle in record.worker
+                and key != crasher_key
+            ):
+                return key
+        time.sleep(0.01)
+    raise AssertionError(f"worker {pid} never journaled a healthy lease")
+
+
+def run_fabric_smoke(root: str) -> None:
+    crasher_key = SPECS[CRASH_AT].cache_key()
+    broker = WorkBroker(
+        root, config=BrokerConfig(retries=1, lease_ttl_s=LEASE_TTL_S)
+    )
+    report = broker.submit(SPECS)
+    print(f"[fabric] submitted: {report.summary()} -> {broker.root}")
+    assert report.enqueued == len(SPECS), report.summary()
+
+    victim = spawn_worker(root)
+    survivor = spawn_worker(root)
+    procs = [victim, survivor]
+    try:
+        victim_key = wait_for_healthy_leased_record(broker, victim.pid, crasher_key)
+        os.kill(victim.pid, signal.SIGKILL)
+        print(f"[fabric] SIGKILLed worker {victim.pid} mid-spec "
+              f"(held {victim_key[:12]}...)")
+        assert victim.wait(timeout=60) == -signal.SIGKILL
+        replacement = spawn_worker(root)  # back to two workers
+        procs.append(replacement)
+        for proc in (survivor, replacement):
+            assert proc.wait(timeout=600) == 0, f"worker exited {proc.returncode}"
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+    # the sweep completed: every healthy spec is in the shared cache ...
+    assert broker.drained(), f"queue not drained: {broker}"
+    counts = broker.counts()
+    assert counts["done"] == len(SPECS) - 1, counts
+    for index, spec in enumerate(SPECS):
+        if index == CRASH_AT:
+            continue
+        assert broker.cache.get(spec.cache_key()) is not None, f"spec {index} lost"
+    # ... the killed worker's lease was reclaimed, not wedged ...
+    victim_record = broker.records()[victim_key]
+    assert victim_record.state == "done", victim_record
+    assert "lease expired" in victim_record.error, victim_record
+    print(f"[fabric] reclaimed after kill: {victim_record.error}")
+    # ... and exactly the injected crasher was quarantined, farm-wide
+    assert counts["dead"] == 1, counts
+    broker.dead_letters.refresh()
+    assert broker.dead_letters.keys() == [crasher_key]
+    crasher = broker.dead_letters.known(crasher_key)
+    assert "injected crasher" in crasher["error"], crasher
+    assert crasher["attempts"] == 2, crasher  # initial + one retry
+    print(f"[fabric] quarantined: {crasher['error']} "
+          f"(attempts={crasher['attempts']})")
+
+    print("[fabric] warm rerun through broker mode ...")
+    warm = SweepRunner(broker=WorkBroker(root), execute=chaotic_execute, strict=False)
+    results = warm.run(SPECS)
+    assert results[CRASH_AT] is None
+    assert all(
+        results[i] is not None for i in range(len(SPECS)) if i != CRASH_AT
+    )
+    hits, misses = warm.stats["cache.hits"], warm.stats["cache.misses"]
+    rate = hits / (hits + misses) if hits + misses else 1.0
+    print(f"[fabric] warm run: {hits} hits / {misses} misses ({rate:.0%})")
+    assert rate >= 0.90, f"warm hit rate {rate:.0%} < 90%"
+    print("[fabric] ok: sweep survived the SIGKILL, quarantined the crasher")
+
+
+def main() -> None:
+    if len(sys.argv) > 2 and sys.argv[1] == "--worker":
+        worker_main(sys.argv[2])
+    elif len(sys.argv) > 1:
+        run_fabric_smoke(sys.argv[1])
+    else:
+        with tempfile.TemporaryDirectory(prefix="dl-fabric-") as root:
+            run_fabric_smoke(root)
+
+
+if __name__ == "__main__":
+    main()

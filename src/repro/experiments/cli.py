@@ -26,12 +26,31 @@ Quarantined specs persist to ``dead_letters.json`` in the cache
 directory, so reruns skip known-bad points without burning their retry
 budget again; ``--retry-dead-letter`` re-attempts them and clears the
 record on success.
+
+Sweeps also run *distributed* over the crash-safe work fabric
+(:mod:`repro.fabric`): point any number of worker processes — on one
+host or many hosts sharing a filesystem — at one broker directory::
+
+    dimmlink-repro work   --broker /shared/farm &          # on each host
+    dimmlink-repro submit fig16 --broker /shared/farm --size small
+
+``submit`` enqueues the experiment's spec grid (deduplicated against the
+shared cache, in-flight leases, and known-dead quarantine), streams
+done/leased/pending/dead progress until the grid drains, and exits with
+the supervisor contract: 0 on success, 1 if any spec was quarantined,
+130 on Ctrl-C.  ``work`` pulls specs until the queue drains (or forever
+with ``--forever``); a worker killed mid-spec is harmless — its lease
+expires and the spec is retried elsewhere.  Passing ``--broker`` to a
+regular experiment command runs its grid on the fabric too, with the
+invoking process joining as one more worker.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Callable, Dict
 
 from repro.errors import SweepExecutionError
@@ -81,6 +100,24 @@ _UNSIZED: Dict[str, Callable[[], None]] = {
     "table2": table2_serdes.main,
 }
 
+#: experiments whose grid can be enqueued on the fabric: declarative
+#: ``specs(size)`` producers (the ``submit`` command's dispatch table).
+_GRIDDED = {
+    name: module
+    for name, module in {
+        "fig10": fig10_p2p,
+        "fig11": fig11_breakdown,
+        "fig12": fig12_broadcast,
+        "fig13": fig13_energy,
+        "fig15": fig15_polling,
+        "fig16": fig16_bandwidth,
+        "fig17": fig17_topology,
+        "mapping": mapping_ablation,
+        "resilience": resilience,
+    }.items()
+    if hasattr(module, "specs")
+}
+
 
 def experiment_names() -> list:
     """All runnable experiment ids."""
@@ -92,6 +129,11 @@ def traceable_names() -> list:
     return [name for name in experiment_names() if name != "all"]
 
 
+def submittable_names() -> list:
+    """Experiment ids accepted by the ``submit`` command."""
+    return sorted(_GRIDDED)
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -100,14 +142,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=experiment_names() + ["trace"],
-        help="experiment id, 'all', or 'trace' (record one traced run)",
+        choices=experiment_names() + ["trace", "submit", "work"],
+        help="experiment id, 'all', 'trace' (record one traced run), "
+        "'submit' (enqueue a grid on a work broker), or 'work' "
+        "(drain specs from a work broker)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="experiment id to trace (only with the 'trace' command)",
+        help="experiment id to trace/submit (with the 'trace'/'submit' commands)",
     )
     parser.add_argument(
         "--size",
@@ -135,8 +179,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        help=f"persistent results-cache directory (default: {DEFAULT_CACHE_DIR})",
+        default=None,
+        help=f"persistent results-cache directory (default: {DEFAULT_CACHE_DIR}, "
+        "or <broker>/cache when --broker is given)",
     )
     parser.add_argument(
         "--no-cache",
@@ -165,6 +210,35 @@ def main(argv=None) -> int:
         help="re-attempt grid points the persisted dead-letter list marks "
         "as known-bad (default: skip them without re-simulating)",
     )
+    parser.add_argument(
+        "--broker",
+        default=None,
+        metavar="DIR",
+        help="work-broker directory of the distributed fabric (required "
+        "by 'submit'/'work'; optional for experiments: their grids then "
+        "drain through the shared queue instead of a local pool)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="worker lease TTL when *creating* a broker (a crashed "
+        "worker's spec is reclaimed this long after its last heartbeat; "
+        "an existing broker's persisted policy wins)",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit only: enqueue the grid and exit without waiting "
+        "for workers to drain it",
+    )
+    parser.add_argument(
+        "--forever",
+        action="store_true",
+        help="work only: keep polling for new specs after the queue "
+        "drains (default: exit once no work is left)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -172,6 +246,22 @@ def main(argv=None) -> int:
         parser.error("--retries must be >= 0")
     if args.spec_timeout is not None and args.spec_timeout <= 0:
         parser.error("--spec-timeout must be positive")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        parser.error("--lease-ttl must be positive")
+    if args.broker is not None and args.no_cache:
+        parser.error("--broker needs the results cache; drop --no-cache")
+
+    if args.experiment in ("submit", "work"):
+        if args.broker is None:
+            parser.error(f"'{args.experiment}' requires --broker DIR")
+        try:
+            if args.experiment == "submit":
+                return _cmd_submit(args, parser)
+            return _cmd_work(args)
+        except KeyboardInterrupt:
+            print("\ninterrupted — journaled state is durable; submitted "
+                  "work continues wherever workers are running")
+            return 130
 
     if args.experiment == "trace":
         if args.target is None or args.target not in traceable_names():
@@ -183,16 +273,20 @@ def main(argv=None) -> int:
         )
         return 0
     if args.target is not None:
-        parser.error("a second positional is only valid with the 'trace' command")
+        parser.error(
+            "a second positional is only valid with the 'trace' and "
+            "'submit' commands"
+        )
 
     previous_runner = sweep_runner.get_runner()
     grid_runner = sweep_runner.configure(
         jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_dir=None if args.no_cache else _cache_dir_for(args),
         use_cache=not args.no_cache,
         retries=args.retries,
         spec_timeout=args.spec_timeout,
         retry_dead_letter=args.retry_dead_letter,
+        broker=args.broker,
     )
     interrupted = False
     failed_experiments = 0
@@ -225,6 +319,89 @@ def main(argv=None) -> int:
     if interrupted:
         return 130
     return 1 if failed_experiments else 0
+
+
+def _cache_dir_for(args) -> str:
+    """Explicit ``--cache-dir`` wins; a broker defaults to its shared
+    ``cache/`` subdirectory so every farm process dedups together."""
+    if args.cache_dir is not None:
+        return args.cache_dir
+    if args.broker is not None:
+        return str(Path(args.broker) / "cache")
+    return DEFAULT_CACHE_DIR
+
+
+def _open_broker(args):
+    """Build the WorkBroker the fabric commands share."""
+    from repro.fabric.broker import BrokerConfig, WorkBroker
+
+    # only consulted when this call *creates* the broker; an existing
+    # broker.json (the farm-wide policy) always wins
+    config = BrokerConfig(
+        retries=args.retries,
+        **({"lease_ttl_s": args.lease_ttl} if args.lease_ttl else {}),
+    )
+    return WorkBroker(args.broker, config=config, cache_dir=args.cache_dir)
+
+
+#: seconds between progress polls while ``submit`` waits for the farm.
+SUBMIT_POLL_S = 0.5
+
+
+def _cmd_submit(args, parser) -> int:
+    """Enqueue one experiment's grid and stream progress until drained."""
+    if args.target not in _GRIDDED:
+        parser.error(
+            f"submit needs an experiment id from: {', '.join(submittable_names())}"
+        )
+    broker = _open_broker(args)
+    grid = _GRIDDED[args.target].specs(args.size)
+    report = broker.submit(grid, retry_dead=args.retry_dead_letter)
+    print(f"[submit] {args.target} (size={args.size}) -> {broker.root}")
+    print(f"[submit] {report.summary()}")
+    if args.no_wait:
+        return 1 if report.dead else 0
+    if report.enqueued or report.inflight:
+        print("[submit] waiting for workers "
+              f"(run: dimmlink-repro work --broker {broker.root}) ...")
+    last_line = ""
+    while True:
+        tally = broker.counts(report.keys)
+        line = (
+            f"[submit] done={tally['done']} leased={tally['leased']} "
+            f"pending={tally['pending']} dead={tally['dead']} "
+            f"/ {tally['total']}"
+        )
+        if line != last_line:
+            print(line)
+            last_line = line
+        if broker.drained(report.keys):
+            break
+        time.sleep(SUBMIT_POLL_S)
+    dead = broker.counts(report.keys)["dead"]
+    if dead:
+        print(f"[submit] {dead} spec(s) quarantined — see "
+              f"{broker.dead_letters.path}")
+        return 1
+    print("[submit] grid complete; results are in the shared cache "
+          f"({broker.cache.cache_dir})")
+    return 0
+
+
+def _cmd_work(args) -> int:
+    """Drain specs from the broker until the queue is empty."""
+    from repro.fabric.worker import Worker
+
+    broker = _open_broker(args)
+    worker = Worker(broker, spec_timeout=args.spec_timeout)
+    mode = "forever" if args.forever else "until drained"
+    print(f"[work] {worker.worker_id} pulling from {broker.root} ({mode})")
+    worker.run(drain=not args.forever)
+    print(
+        f"[work] done: completed={worker.completed} failed={worker.failed} "
+        f"cache_served={worker.cache_served} leases_lost={worker.leases_lost}"
+    )
+    return 0
 
 
 def _run_entry(name: str, entry, *entry_args) -> int:

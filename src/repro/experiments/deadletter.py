@@ -11,18 +11,26 @@ the store.
 One JSON file (``dead_letters.json``) holds every record, keyed by the
 spec's cache key — the same content hash the results cache uses, so a
 code-version bump naturally invalidates stale quarantines along with
-stale results.  Writes are atomic (temp file + rename) and a corrupt or
+stale results.  Writes are atomic and durable (temp file + fsync +
+rename via :func:`repro.fsio.atomic_write_text`): a crash at any point
+mid-write — including between opening the temp file and the rename —
+leaves the previous store intact, never a truncated one.  A corrupt or
 unreadable store is treated as empty, mirroring the results cache's
 crash-safety posture.
+
+The store is also the distributed fabric's **farm-wide quarantine**: the
+:class:`~repro.fabric.broker.WorkBroker` records specs that exhaust
+their attempt budget here, next to the shared results cache, so every
+worker and submitter sees the same known-bad set.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+from repro.fsio import atomic_write_text
 
 FILENAME = "dead_letters.json"
 
@@ -57,20 +65,20 @@ class DeadLetterStore:
 
     def _save(self) -> None:
         payload = {"version": STORE_VERSION, "records": self._records}
-        text = json.dumps(payload, indent=2, sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".dead_letters-", suffix=".tmp", dir=self.directory
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(self.path, json.dumps(payload, indent=2, sort_keys=True))
+
+    def refresh(self) -> None:
+        """Re-read the store from disk (pick up other processes' writes).
+
+        Mutations refresh implicitly so concurrent workers quarantining
+        *different* specs merge instead of clobbering each other; callers
+        that only read (e.g. a broker deduplicating a submission) call
+        this once up front.  Two workers quarantining the *same* spec at
+        the same instant can still lose one write — harmless, as the
+        journal's ``dead`` state is the authoritative record and a lost
+        store entry only costs one redundant retry on a later rerun.
+        """
+        self._records = self._load()
 
     def known(self, key: str) -> Optional[Dict[str, object]]:
         """The persisted record for ``key``, or ``None``."""
@@ -85,6 +93,7 @@ class DeadLetterStore:
         diagnosis: str = "",
     ) -> None:
         """Persist (or update) one quarantined spec."""
+        self.refresh()
         self._records[key] = {
             "spec": spec,
             "attempts": attempts,
@@ -95,6 +104,7 @@ class DeadLetterStore:
 
     def discard(self, key: str) -> bool:
         """Drop ``key`` from the store (e.g. it succeeded on retry)."""
+        self.refresh()
         if key not in self._records:
             return False
         del self._records[key]

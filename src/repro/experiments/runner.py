@@ -282,6 +282,10 @@ def supervised_call(
     snapshot.  SIGALRM (where available, main thread only) fires
     slightly later and catches hangs the simulator cannot see —
     workload generation, placement solving, serialization.
+
+    The caller's SIGALRM state is restored on exit: both the previous
+    handler *and* any previously armed itimer (its remaining time is
+    re-armed, so an outer alarm still fires about when it would have).
     """
     if timeout_s is None:
         return execute(spec)
@@ -291,15 +295,23 @@ def supervised_call(
         and threading.current_thread() is threading.main_thread()
     )
     if use_alarm:
-        previous = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, timeout_s * ALARM_GRACE)
+        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        armed_at = time.monotonic()
+        previous_delay, previous_interval = signal.setitimer(
+            signal.ITIMER_REAL, timeout_s * ALARM_GRACE
+        )
     try:
         return execute(spec)
     finally:
         clear_watchdog()
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
+            signal.signal(signal.SIGALRM, previous_handler)
+            if previous_delay:
+                remaining = previous_delay - (time.monotonic() - armed_at)
+                signal.setitimer(
+                    signal.ITIMER_REAL, max(remaining, 1e-6), previous_interval
+                )
 
 
 def _backoff_delay(attempt: int) -> float:
@@ -352,7 +364,9 @@ class DeadLetter:
 class SweepRunner:
     """Executes RunSpec batches with memoisation, process fan-out, and
     supervision: incremental checkpointing, retry/quarantine, per-spec
-    timeouts, and pool respawn with serial degradation."""
+    timeouts, and pool respawn with serial degradation.  With ``broker``
+    set, batches drain through the distributed fabric
+    (:mod:`repro.fabric`) instead of a local pool."""
 
     def __init__(
         self,
@@ -366,6 +380,7 @@ class SweepRunner:
         max_pool_respawns: int = MAX_POOL_RESPAWNS,
         dead_letter_store: Optional[Union[DeadLetterStore, str]] = None,
         retry_dead_letter: bool = False,
+        broker: Optional[object] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -375,6 +390,26 @@ class SweepRunner:
             raise ConfigError(f"spec_timeout must be positive, got {spec_timeout}")
         self.jobs = jobs
         self.cache = ResultsCache(cache) if isinstance(cache, str) else cache
+        #: distributed mode: a :class:`~repro.fabric.broker.WorkBroker`
+        #: (or its directory).  Cache misses are submitted to the broker
+        #: and drained cooperatively — this process becomes one fabric
+        #: worker among however many are pointed at the same directory.
+        if isinstance(broker, str):
+            from repro.fabric.broker import WorkBroker
+
+            broker = WorkBroker(broker)
+        self.broker = broker
+        if self.broker is not None:
+            if not use_cache:
+                raise ConfigError(
+                    "broker mode requires the results cache: idempotent "
+                    "publishing is what makes at-least-once execution "
+                    "yield exactly-once results"
+                )
+            if self.cache is None:
+                self.cache = self.broker.cache  # type: ignore[attr-defined]
+            if dead_letter_store is None:
+                dead_letter_store = self.broker.dead_letters  # type: ignore[attr-defined]
         self.use_cache = use_cache and self.cache is not None
         self.execute = execute
         #: extra attempts granted to a failing spec before quarantine.
@@ -533,9 +568,94 @@ class SweepRunner:
         """Run every spec (at-most-once success each), return quarantines."""
         if not specs:
             return []
+        if self.broker is not None:
+            return self._run_fabric(specs, keys, checkpoint)
         if self.jobs == 1 or len(specs) <= 1:
             return self._run_serial(list(range(len(specs))), specs, keys, checkpoint)
         return self._run_pool(specs, keys, checkpoint)
+
+    def _run_fabric(
+        self,
+        specs: List[RunSpec],
+        keys: List[str],
+        checkpoint: Callable[[int, RunResult], None],
+    ) -> List[DeadLetter]:
+        """Drain the batch through the work broker (distributed mode).
+
+        The misses are submitted to the broker's durable queue —
+        deduplicated there against finished cache entries and work other
+        submitters/workers already have in flight — and this process
+        joins the farm as one more pull-based worker.  Any number of
+        ``dimmlink-repro work`` processes (or other broker-mode runs)
+        pointed at the same directory drain the queue cooperatively;
+        results are collected from the shared cache as their journal
+        records reach ``done``, so it doesn't matter *who* executed a
+        spec.  Specs the broker quarantines come back as dead letters,
+        exactly like local-mode failures.
+        """
+        from repro.fabric.worker import Worker
+
+        broker = self.broker
+        broker.submit(specs, retry_dead=self.retry_dead_letter)
+        worker = Worker(
+            broker,
+            execute=self.execute,
+            spec_timeout=self.spec_timeout,
+        )
+        failures: List[DeadLetter] = []
+        unresolved: Dict[str, int] = {key: pos for pos, key in enumerate(keys)}
+        while unresolved:
+            records = broker.records()
+            resolved_any = False
+            for key in list(unresolved):
+                record = records.get(key)
+                pos = unresolved[key]
+                if record is None:
+                    known = broker.dead_letters.known(key)
+                    if known is not None:
+                        # quarantined by a pre-fabric run: surface it
+                        failures.append(
+                            self._dead_letter(
+                                specs[pos],
+                                key,
+                                int(known.get("attempts", 0)),
+                                str(known.get("error", "unknown failure")),
+                                str(known.get("diagnosis", "")),
+                            )
+                        )
+                        del unresolved[key]
+                        resolved_any = True
+                    else:  # lost enqueue somehow: resubmit just this spec
+                        broker.submit([specs[pos]])
+                    continue
+                if record.state == "done":
+                    result = self.cache.get(key)
+                    if result is None:
+                        # journal says done but the cache entry is gone
+                        # (e.g. quarantined as corrupt): re-run the spec
+                        broker.resubmit(key)
+                        continue
+                    checkpoint(pos, result)
+                    del unresolved[key]
+                    resolved_any = True
+                elif record.state == "dead":
+                    failures.append(
+                        self._dead_letter(
+                            specs[pos],
+                            key,
+                            record.attempts,
+                            record.error,
+                            record.diagnosis,
+                        )
+                    )
+                    del unresolved[key]
+                    resolved_any = True
+            if not unresolved:
+                break
+            if worker.step() or resolved_any:
+                continue  # progressed: look again immediately
+            time.sleep(worker.poll_interval_s)  # others hold the leases
+        return failures
 
     def _dead_letter(
         self, spec: RunSpec, key: str, attempts: int, error: str, diagnosis: str = ""
@@ -796,16 +916,28 @@ def configure(
     spec_timeout: Optional[float] = None,
     strict: bool = True,
     retry_dead_letter: bool = False,
+    broker: Optional[str] = None,
 ) -> SweepRunner:
     """Install (and return) the default runner experiments will use.
 
     The dead-letter store lives next to the results cache: configuring a
     cache directory makes quarantines persistent (reruns skip them), with
-    ``retry_dead_letter`` forcing a fresh attempt.
+    ``retry_dead_letter`` forcing a fresh attempt.  With ``broker``, grid
+    misses drain through the distributed fabric
+    (:mod:`repro.fabric`) instead of a local process pool; the cache and
+    quarantine then default to the broker's shared ones.
     """
     global _default_runner
-    cache = ResultsCache(cache_dir) if (cache_dir and use_cache) else None
-    store = DeadLetterStore(cache.cache_dir) if cache is not None else None
+    broker_obj = None
+    if broker is not None:
+        from repro.fabric.broker import WorkBroker
+
+        broker_obj = WorkBroker(broker, cache_dir=cache_dir)
+        cache = broker_obj.cache if use_cache else None
+        store: Optional[DeadLetterStore] = broker_obj.dead_letters
+    else:
+        cache = ResultsCache(cache_dir) if (cache_dir and use_cache) else None
+        store = DeadLetterStore(cache.cache_dir) if cache is not None else None
     _default_runner = SweepRunner(
         jobs=jobs,
         cache=cache,
@@ -815,6 +947,7 @@ def configure(
         strict=strict,
         dead_letter_store=store,
         retry_dead_letter=retry_dead_letter,
+        broker=broker_obj,
     )
     return _default_runner
 

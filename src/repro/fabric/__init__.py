@@ -1,0 +1,41 @@
+"""Crash-safe distributed sweep fabric.
+
+A file-based work broker (no coordinator process) plus a pull-based
+worker loop: many processes — on one host or many hosts sharing a
+filesystem — drain one sweep of :class:`~repro.experiments.runner.RunSpec`
+grid points.  The design is three small, independently testable pieces:
+
+* :mod:`~repro.fabric.journal` — the durable spec queue: one append-only
+  JSONL file per spec with fsync'd state transitions
+  ``pending → leased → done/dead``.
+* :mod:`~repro.fabric.lease` — mutual exclusion: TTL'd lease files
+  claimed with atomic exclusive-create and renewed by worker
+  heartbeats; an expired lease is stolen with an atomic rename.
+* :mod:`~repro.fabric.broker` / :mod:`~repro.fabric.worker` — the
+  protocol: claim, heartbeat, complete/fail, reclaim-with-backoff, and
+  farm-wide quarantine into the persistent
+  :class:`~repro.experiments.deadletter.DeadLetterStore`.
+
+Execution is **at-least-once** (a crashed worker's spec is reclaimed and
+re-run) but results are **exactly-once**: workers publish through the
+content-addressed :class:`~repro.results_cache.ResultsCache`, whose
+atomic same-content writes make a duplicate completion a harmless no-op.
+
+:mod:`~repro.fabric.faultpoints` provides the named crash-injection
+hooks the chaos suite uses to kill the protocol at every transition.
+"""
+
+from repro.fabric.broker import BrokerConfig, SubmitReport, WorkBroker
+from repro.fabric.journal import SpecJournal, SpecRecord
+from repro.fabric.lease import LeaseManager
+from repro.fabric.worker import Worker
+
+__all__ = [
+    "BrokerConfig",
+    "LeaseManager",
+    "SpecJournal",
+    "SpecRecord",
+    "SubmitReport",
+    "WorkBroker",
+    "Worker",
+]

@@ -1,0 +1,202 @@
+"""Durable spec queue: one append-only JSONL journal per spec.
+
+Layout (under the broker's ``journal/`` directory)::
+
+    <cache_key>.jsonl
+
+The first line of each file carries the spec itself; every line carries
+the state after one transition (``pending → leased → done/dead``, with
+failed attempts looping back through ``pending``).  Writes follow the
+crash-safety discipline of :mod:`repro.fsio`:
+
+* **Enqueue** writes the whole initial record to a temp file and links
+  it into place atomically (exclusive, no clobber): two submitters
+  racing on the same spec produce exactly one journal, and a crash
+  mid-enqueue leaves only an ignored temp file.
+* **Transitions** are fsync'd appends.  A crash mid-append leaves a
+  partial trailing line that fails to parse; replay ignores it, so the
+  spec simply remains in its previous state — exactly as if the
+  transition never happened.  (The attempt it was recording is then
+  redone; results stay exactly-once via the idempotent cache.)
+
+Replay folds each file's lines into one :class:`SpecRecord` — last valid
+line wins — so a broker opened on any crashed state sees a consistent
+queue with no repair step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.fabric import faultpoints
+from repro.fsio import fsync_dir, read_json_lines
+
+#: states a spec moves through; ``pending`` and ``leased`` are live.
+STATES = ("pending", "leased", "done", "dead")
+
+
+@dataclass
+class SpecRecord:
+    """The folded current state of one journaled spec."""
+
+    key: str
+    spec: Dict[str, object]
+    state: str = "pending"
+    #: execution attempts started so far (charged when a lease is taken).
+    attempts: int = 0
+    #: epoch seconds before which a pending retry must not be claimed.
+    not_before: float = 0.0
+    #: worker id of the current/last lease holder.
+    worker: str = ""
+    error: str = ""
+    diagnosis: str = ""
+    #: submit-order hint; claims scan in (seq, key) order.
+    seq: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def live(self) -> bool:
+        return self.state in ("pending", "leased")
+
+
+class SpecJournal:
+    """Reads and writes the per-spec journal files."""
+
+    def __init__(self, directory: Union[str, Path], durable: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.jsonl"
+
+    # -- writes ----------------------------------------------------------------------
+
+    def enqueue(self, key: str, spec: Dict[str, object], seq: int = 0) -> bool:
+        """Create the journal for ``key`` in state ``pending``.
+
+        Atomic and exclusive: returns ``False`` (no write) when a journal
+        for ``key`` already exists — concurrent submitters enqueue each
+        spec exactly once, and an existing journal's transition history
+        is never clobbered.
+        """
+        path = self.path_for(key)
+        if path.exists():
+            return False
+        line = self._line(
+            key, state="pending", spec=spec, attempts=0, not_before=0.0, seq=seq
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
+            faultpoints.trip("journal.enqueue.before_link")
+            try:
+                os.link(tmp_name, path)  # atomic no-clobber publish
+            except FileExistsError:
+                return False
+            faultpoints.trip("journal.enqueue.after_link")
+            if self.durable:
+                fsync_dir(self.directory)
+            return True
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    def append(self, key: str, state: str, **fields: object) -> None:
+        """Durably append one state transition to ``key``'s journal."""
+        if state not in STATES:
+            raise ValueError(f"unknown journal state {state!r}")
+        line = self._line(key, state=state, **fields)
+        path = self.path_for(key)
+        # heal a torn tail: if the last append died mid-line, start this
+        # one on a fresh line so the torn fragment stays isolated (and
+        # ignored by replay) instead of corrupting this transition too
+        torn_tail = False
+        try:
+            with open(path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                torn_tail = tail.read(1) != b"\n"
+        except OSError:
+            pass  # missing or empty journal: nothing to heal
+        with open(path, "a", encoding="utf-8") as handle:
+            if torn_tail:
+                handle.write("\n")
+            if faultpoints.armed("journal.append.partial"):
+                # simulate a torn write: half the line reaches the disk
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                faultpoints.trip("journal.append.partial")
+            faultpoints.trip("journal.append.before_write")
+            handle.write(line + "\n")
+            handle.flush()
+            faultpoints.trip("journal.append.before_fsync")
+            if self.durable:
+                os.fsync(handle.fileno())
+        faultpoints.trip("journal.append.after_fsync")
+
+    @staticmethod
+    def _line(key: str, **fields: object) -> str:
+        return json.dumps({"key": key, **fields}, sort_keys=True)
+
+    # -- replay ----------------------------------------------------------------------
+
+    def read(self, key: str) -> Optional[SpecRecord]:
+        """Fold one journal into its current record (``None`` if absent
+        or wholly unreadable)."""
+        return self._fold(key, self.path_for(key))
+
+    def replay(self) -> Dict[str, SpecRecord]:
+        """Fold every journal in the directory; the broker's queue view."""
+        records: Dict[str, SpecRecord] = {}
+        for path in sorted(self.directory.glob("*.jsonl")):
+            key = path.stem
+            record = self._fold(key, path)
+            if record is not None:
+                records[key] = record
+        return records
+
+    def _fold(self, key: str, path: Path) -> Optional[SpecRecord]:
+        record: Optional[SpecRecord] = None
+        for line in read_json_lines(path):
+            if line.get("key") != key:
+                continue  # cross-contaminated or hand-edited line
+            if record is None:
+                spec = line.get("spec")
+                if not isinstance(spec, dict):
+                    continue  # the spec rides on the first valid line
+                record = SpecRecord(key=key, spec=spec, seq=int(line.get("seq", 0)))
+            self._apply(record, line)
+        return record
+
+    @staticmethod
+    def _apply(record: SpecRecord, line: Dict[str, object]) -> None:
+        state = line.get("state")
+        if state not in STATES:
+            return
+        record.state = state
+        if "attempts" in line:
+            record.attempts = int(line["attempts"])  # type: ignore[arg-type]
+        if "not_before" in line:
+            record.not_before = float(line["not_before"])  # type: ignore[arg-type]
+        record.worker = str(line.get("worker", record.worker))
+        record.error = str(line.get("error", record.error))
+        record.diagnosis = str(line.get("diagnosis", record.diagnosis))
+
+    def __iter__(self) -> Iterator[SpecRecord]:
+        return iter(self.replay().values())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.jsonl"))

@@ -1,0 +1,172 @@
+"""Pull-based worker loop: claim, heartbeat, execute, publish.
+
+A :class:`Worker` drains a :class:`~repro.fabric.broker.WorkBroker` one
+spec at a time:
+
+1. **Claim** a runnable spec (the broker takes the lease and charges the
+   attempt).
+2. **Idempotency check** — if the shared cache already holds the result
+   (another worker double-executed it, or a pre-fabric run produced it),
+   journal ``done`` immediately and move on.
+3. **Heartbeat** — a daemon thread renews the lease every TTL/3 while
+   the simulation runs, so a *slow* spec is not mistaken for a *dead*
+   worker.  If renewal reports the lease lost (this process was presumed
+   dead and the spec reclaimed), the worker finishes anyway and
+   publishes — the cache and the broker's idempotent ``complete`` make
+   the duplicate harmless.
+4. **Execute** under the same supervision as the in-process runner
+   (:func:`~repro.experiments.runner.supervised_call`: engine stall
+   watchdog + SIGALRM backstop when a spec timeout is set).
+5. **Publish** the result to the cache *before* journaling ``done`` —
+   at every crash point the journal claims no more than the cache can
+   prove.
+
+Failures journal back through the broker (retry with backoff, then
+farm-wide quarantine).  A worker that dies mid-spec needs no cleanup:
+its lease expires and any claimer reclaims the spec.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import uuid
+from typing import Callable, Optional
+
+from repro.experiments.runner import (
+    RunSpec,
+    _diagnose,
+    execute_spec,
+    supervised_call,
+)
+from repro.fabric import faultpoints
+from repro.fabric.broker import WorkBroker
+from repro.fabric.journal import SpecRecord
+from repro.nmp.results import RunResult
+
+
+def default_worker_id() -> str:
+    """Unique per process: ``host-pid-suffix`` (suffix for same-process
+    workers in tests)."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class Worker:
+    """Executes broker specs until told to stop or the queue drains."""
+
+    def __init__(
+        self,
+        broker: WorkBroker,
+        worker_id: Optional[str] = None,
+        execute: Callable[[RunSpec], RunResult] = execute_spec,
+        spec_timeout: Optional[float] = None,
+        poll_interval_s: float = 0.25,
+        heartbeat_interval_s: Optional[float] = None,
+    ) -> None:
+        self.broker = broker
+        self.worker_id = worker_id or default_worker_id()
+        self.execute = execute
+        self.spec_timeout = spec_timeout
+        self.poll_interval_s = poll_interval_s
+        self.heartbeat_interval_s = heartbeat_interval_s or max(
+            0.05, broker.config.lease_ttl_s / 3.0
+        )
+        #: specs this worker claimed / finished / failed / served from cache.
+        self.claimed = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_served = 0
+        #: heartbeats that found the lease stolen (we were presumed dead).
+        self.leases_lost = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask a running loop to exit after the current spec."""
+        self._stop.set()
+
+    # -- the loop --------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Claim and execute at most one spec; ``False`` if none runnable."""
+        record = self.broker.claim(self.worker_id)
+        if record is None:
+            return False
+        self.claimed += 1
+        self._execute_claimed(record)
+        return True
+
+    def run(self, drain: bool = True) -> int:
+        """Work until the queue drains (``drain=True``) or forever
+        (``drain=False``, until :meth:`stop`).  Returns specs executed.
+
+        With ``drain`` the loop keeps polling while anything is still
+        *leased* elsewhere: if that worker dies, this one reclaims the
+        spec after its lease TTL instead of exiting early.
+        """
+        executed = 0
+        while not self._stop.is_set():
+            if self.step():
+                executed += 1
+                continue
+            if drain and self.broker.drained():
+                break
+            self._stop.wait(self.poll_interval_s)
+        return executed
+
+    # -- one spec --------------------------------------------------------------------
+
+    def _execute_claimed(self, record: SpecRecord) -> None:
+        key = record.key
+        if self.broker.cache.get(key) is not None:
+            # exactly-once shortcut: someone already published this result
+            self.broker.complete(key, self.worker_id)
+            self.cache_served += 1
+            return
+        heartbeat = self._start_heartbeat(key)
+        try:
+            spec = RunSpec(**record.spec)  # type: ignore[arg-type]
+            result = supervised_call(self.execute, spec, self.spec_timeout)
+        except Exception as exc:
+            self.failed += 1
+            self.broker.fail(
+                key,
+                self.worker_id,
+                f"{type(exc).__name__}: {exc}",
+                _diagnose(exc),
+            )
+        else:
+            self.broker.cache.put(key, result, spec=record.spec)
+            faultpoints.trip("worker.publish.after_cache_put")
+            self.broker.complete(key, self.worker_id)
+            self.completed += 1
+        finally:
+            heartbeat.set()
+
+    def _start_heartbeat(self, key: str) -> threading.Event:
+        """Renew the lease on ``key`` until the returned event is set."""
+        done = threading.Event()
+
+        def beat() -> None:
+            while not done.wait(self.heartbeat_interval_s):
+                try:
+                    if not self.broker.leases.renew(key, self.worker_id):
+                        # reclaimed: we were presumed dead.  Keep going —
+                        # publishing a duplicate result is a no-op.
+                        self.leases_lost += 1
+                        return
+                except OSError:
+                    continue  # transient FS hiccup: retry next beat
+
+        thread = threading.Thread(
+            target=beat, name=f"lease-heartbeat-{key[:8]}", daemon=True
+        )
+        thread.start()
+        return done
+
+    def __repr__(self) -> str:
+        return (
+            f"Worker({self.worker_id!r}, claimed={self.claimed}, "
+            f"completed={self.completed}, failed={self.failed}, "
+            f"cache_served={self.cache_served}, lost={self.leases_lost})"
+        )

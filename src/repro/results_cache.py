@@ -12,10 +12,17 @@ Soundness rests on three properties, each enforced by tests:
 * **Content keying** — the key covers every field of the spec *and* a
   code version (:data:`CODE_VERSION`); bump the version whenever a change
   alters simulation semantics, and every stale entry becomes a miss.
-* **Crash safety** — entries are written to a temp file and atomically
-  renamed into place, so a killed run never leaves a truncated entry
-  that would later be served; unreadable/corrupt entries are treated as
-  misses and rewritten.
+* **Crash safety** — entries are written to a temp file, fsync'd, and
+  atomically renamed into place (:func:`repro.fsio.atomic_write_text`),
+  so a killed run never leaves a truncated entry that would later be
+  served; corrupt entries degrade to misses and are **quarantined** into
+  ``<cache_dir>/corrupt/`` so the bad bytes are kept for post-mortem but
+  never re-parsed on every lookup.
+
+The atomic same-content overwrite is also what makes ``put`` idempotent,
+which the distributed fabric (:mod:`repro.fabric`) leans on: two workers
+publishing the same key race to identical content, so at-least-once
+execution still yields exactly-once results.
 
 Layout: one ``<key>.json`` file per entry under the cache directory,
 where ``<key>`` is the spec's SHA-256 content hash.  Each file carries
@@ -26,10 +33,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.fsio import atomic_write_text
 from repro.nmp.results import RunResult
 
 #: bump whenever a change alters simulation semantics (timing models,
@@ -51,58 +58,68 @@ class ResultsCache:
         self.hits = 0
         #: lookups that found no (readable) entry.
         self.misses = 0
+        #: corrupt entries moved to ``corrupt/`` since construction.
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         """The entry file a key maps to."""
         return self.cache_dir / f"{key}.json"
 
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where quarantined (unparsable/mismatched) entries end up."""
+        return self.cache_dir / "corrupt"
+
     def get(self, key: str) -> Optional[RunResult]:
         """The cached result for ``key``, or ``None`` on a miss.
 
-        Any unreadable entry — missing, truncated, corrupt JSON, or a
-        payload that no longer matches the schema — counts as a miss;
-        the caller re-simulates and overwrites it.  So does any entry
-        whose *stored* ``key`` or ``code_version`` disagrees with the
-        key it was looked up under and the current :data:`CODE_VERSION`:
-        a hand-renamed, copied, or edited entry would otherwise answer
-        for a spec it never simulated.
+        Any unreadable entry — truncated, corrupt JSON, or a payload
+        that no longer matches the schema — counts as a miss; the entry
+        file is moved to ``corrupt/`` (kept for post-mortem, never
+        re-parsed on later lookups) and the caller re-simulates.  So is
+        any entry whose *stored* ``key`` or ``code_version`` disagrees
+        with the key it was looked up under and the current
+        :data:`CODE_VERSION`: a hand-renamed, copied, or edited entry
+        would otherwise answer for a spec it never simulated.
         """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.misses += 1  # plain miss: nothing on disk to blame
+            return None
+        try:
+            payload = json.loads(text)
             if payload["key"] != key or payload["code_version"] != CODE_VERSION:
                 raise ValueError("cache entry does not match its filename key")
             result = RunResult.from_json_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is never parsed again."""
+        try:
+            self.corrupt_dir.mkdir(exist_ok=True)
+            os.replace(path, self.corrupt_dir / path.name)
+            self.corrupt += 1
+        except OSError:
+            pass  # e.g. raced with a concurrent writer replacing the entry
+
     def put(self, key: str, result: RunResult, spec: Optional[Dict[str, object]] = None) -> Path:
-        """Persist a result under ``key`` (atomic write-then-rename)."""
-        path = self.path_for(key)
+        """Persist a result under ``key`` (atomic fsync'd write-then-rename)."""
         payload = {
             "key": key,
             "code_version": CODE_VERSION,
             "spec": spec,
             "result": result.to_json_dict(),
         }
-        text = json.dumps(payload, sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.cache_dir
+        return atomic_write_text(
+            self.path_for(key), json.dumps(payload, sort_keys=True)
         )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -121,5 +138,5 @@ class ResultsCache:
     def __repr__(self) -> str:
         return (
             f"ResultsCache({str(self.cache_dir)!r}, {len(self)} entries, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, corrupt={self.corrupt})"
         )

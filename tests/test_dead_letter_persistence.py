@@ -119,3 +119,45 @@ def test_configure_wires_store_into_default_runner(tmp_path):
         assert retry.retry_dead_letter
     finally:
         set_runner(previous)
+
+
+# -- crash safety of the store file (satellite regression) ---------------------------
+
+
+def test_crash_between_temp_write_and_rename_keeps_old_store(tmp_path, monkeypatch):
+    """A writer dying after opening the temp file but before the rename
+    must leave the previous store readable — never truncated or lost."""
+    store = DeadLetterStore(tmp_path)
+    store.record("k1", {"seed": 1}, 2, "first failure")
+
+    import repro.fsio as fsio
+
+    def explode(src, dst):
+        raise OSError("crash injected between temp write and rename")
+
+    monkeypatch.setattr(fsio.os, "replace", explode)
+    with pytest.raises(OSError):
+        store.record("k2", {"seed": 2}, 1, "second failure")
+    monkeypatch.undo()
+
+    reloaded = DeadLetterStore(tmp_path)
+    assert reloaded.keys() == ["k1"]
+    assert reloaded.known("k1")["error"] == "first failure"
+    # the aborted write left no temp-file litter next to the store
+    assert [p.name for p in tmp_path.iterdir()] == ["dead_letters.json"]
+
+
+def test_refresh_merges_other_processes_quarantines(tmp_path):
+    """Two stores on the same directory (two workers) must merge their
+    different-key writes instead of clobbering each other."""
+    ours = DeadLetterStore(tmp_path)
+    theirs = DeadLetterStore(tmp_path)
+    ours.record("k1", {"seed": 1}, 1, "ours")
+    theirs.record("k2", {"seed": 2}, 1, "theirs")  # refreshes before writing
+    assert theirs.keys() == ["k1", "k2"]
+    ours.refresh()
+    assert ours.keys() == ["k1", "k2"]
+    # and a discard sees the latest state too
+    assert ours.discard("k2") is True
+    theirs.refresh()
+    assert theirs.keys() == ["k1"]

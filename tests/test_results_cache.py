@@ -324,3 +324,48 @@ def test_seed_era_entry_still_warm_hits(tmp_path):
     assert execute.calls == 0  # pure warm hit across the refactor boundary
     assert result == fake_result(spec)
     assert runner.stats == {"cache.hits": 1, "cache.misses": 0}
+
+
+# -- corrupt-entry quarantine (satellite regression) ---------------------------------
+
+
+def test_corrupt_entry_is_quarantined_for_post_mortem(tmp_path):
+    """A corrupt entry is moved to ``corrupt/`` on first sight: the bytes
+    survive for debugging, and later lookups never re-parse them."""
+    cache = ResultsCache(tmp_path)
+    key = SPEC.cache_key()
+    cache.put(key, fake_result(SPEC))
+    cache.path_for(key).write_text("not json at all")
+
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+    assert not cache.path_for(key).exists()
+    assert (cache.corrupt_dir / f"{key}.json").read_text() == "not json at all"
+
+    # second lookup: a plain miss — nothing left to re-parse
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+    assert cache.misses == 2
+    assert "corrupt=1" in repr(cache)
+
+
+def test_missing_entry_is_not_quarantined(tmp_path):
+    cache = ResultsCache(tmp_path)
+    assert cache.get(SPEC.cache_key()) is None
+    assert cache.corrupt == 0
+    assert not cache.corrupt_dir.exists()
+
+
+def test_quarantined_entries_do_not_count_or_block_repair(tmp_path):
+    cache = ResultsCache(tmp_path)
+    key = SPEC.cache_key()
+    cache.put(key, fake_result(SPEC))
+    cache.path_for(key).write_text("{}")
+    assert cache.get(key) is None
+    assert len(cache) == 0  # quarantined files are not entries
+
+    # re-simulating repairs in place; the quarantined bytes remain aside
+    cache.put(key, fake_result(SPEC))
+    assert len(cache) == 1
+    assert cache.get(key) == fake_result(SPEC)
+    assert (cache.corrupt_dir / f"{key}.json").exists()

@@ -304,3 +304,67 @@ def test_validation_rejects_bad_supervision_parameters():
         SweepRunner(retries=-1)
     with pytest.raises(ConfigError):
         SweepRunner(spec_timeout=0.0)
+
+
+def slow_interrupt_execute(spec):
+    if spec.seed == BAD_SEED:
+        time.sleep(0.6)  # healthy neighbours finish and checkpoint first
+        raise KeyboardInterrupt()
+    return fake_result(spec)
+
+
+def test_keyboard_interrupt_in_pool_flushes_completed_results(tmp_path):
+    """Ctrl-C during a ``--jobs N`` sweep keeps everything that finished
+    before the interrupt: the pool stops handing out work, but completed
+    checkpoints are already on disk for the resume."""
+    specs = grid(6, bad_at=5)
+    runner = SweepRunner(
+        jobs=2, cache=ResultsCache(tmp_path), execute=slow_interrupt_execute
+    )
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(specs)
+    cache = ResultsCache(tmp_path)
+    for spec in specs[:5]:
+        assert cache.get(spec.cache_key()) is not None
+    assert cache.get(specs[5].cache_key()) is None
+
+
+# -- SIGALRM state restoration (satellite regression) --------------------------------
+
+
+def test_supervised_call_restores_previous_sigalrm_handler_and_itimer():
+    """An outer alarm (another supervisor, a test harness) must survive a
+    supervised call: same handler installed, timer still counting."""
+    import signal
+
+    from repro.experiments.runner import supervised_call
+
+    fired = []
+
+    def outer_handler(signum, frame):
+        fired.append(signum)
+
+    previous_handler = signal.signal(signal.SIGALRM, outer_handler)
+    signal.setitimer(signal.ITIMER_REAL, 60.0)
+    try:
+        assert supervised_call(ok_execute, grid(1)[0], 5.0) is not None
+        assert signal.getsignal(signal.SIGALRM) is outer_handler
+        delay, interval = signal.setitimer(signal.ITIMER_REAL, 0.0)
+        assert 0.0 < delay <= 60.0  # the outer alarm is still armed
+        assert interval == 0.0
+        assert fired == []  # and it never fired early
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+
+def test_supervised_call_without_prior_alarm_disarms_cleanly():
+    import signal
+
+    from repro.experiments.runner import supervised_call
+
+    before = signal.getsignal(signal.SIGALRM)
+    supervised_call(ok_execute, grid(1)[0], 5.0)
+    assert signal.getsignal(signal.SIGALRM) == before
+    delay, _interval = signal.setitimer(signal.ITIMER_REAL, 0.0)
+    assert delay == 0.0  # no stray timer left ticking
