@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Differential smoke test: epoch loop ≡ legacy loop on a real figure.
+
+Runs the Fig. 10 point-to-point comparison (one tiny workload, one
+config — CPU baseline plus all four IDC mechanisms) twice: once under
+the default epoch-synchronized fast-forward loop and once under the
+legacy one-pop-per-event loop, then asserts the two summary JSON
+documents — every row, every ratio, every digit — are **byte
+identical**.  This is the end-to-end witness for the bit-identity
+contract documented in `DESIGN.md` §14: the epoch loop may only change
+how fast the simulator gets to the answer, never the answer.
+
+Run:  PYTHONPATH=src python examples/differential_smoke.py
+
+Exits nonzero (via assert) if the loops diverge; used as the CI
+differential step.
+"""
+
+import json
+
+from repro.experiments import fig10_p2p
+from repro.sim import set_default_loop
+
+
+def run_under(legacy: bool) -> str:
+    previous = set_default_loop(legacy)
+    try:
+        rows = fig10_p2p.run(
+            size="tiny", config_names=("4D-2C",), workload_names=("pagerank",)
+        )
+        summary = fig10_p2p.summary(rows)
+    finally:
+        set_default_loop(previous)
+    return json.dumps({"rows": rows, "summary": summary}, sort_keys=True)
+
+
+def main() -> None:
+    epoch = run_under(legacy=False)
+    legacy = run_under(legacy=True)
+    assert epoch == legacy, "epoch and legacy loops produced different results"
+    document = json.loads(epoch)
+    print("differential smoke: epoch == legacy, byte-identical summary JSON")
+    print(f"  rows: {len(document['rows'])}")
+    for key, value in sorted(document["summary"].items()):
+        print(f"  {key}: {value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -120,6 +120,17 @@ class FRFCFSController:
         self._running = False
         self.row_hits_scheduled = 0
         self.requests = 0
+        # completions are issued in near-arrival order at monotonically
+        # growing finish times, so they ride a countdown queue the epoch
+        # loop bulk-expires (FR-FCFS reordering can produce the odd
+        # out-of-order finish; at_monotone routes those to the heap).
+        # The DRAM timing floor — nothing completes faster than a burst,
+        # and issue slots are fixed-width — is this controller's
+        # conservative lookahead contribution.
+        self._timers = sim.timer_queue("frfcfs")
+        sim.register_lookahead(
+            "frfcfs", min(ISSUE_SLOT_PS, module.timing.tburst_ps) + 1
+        )
         #: arrival numbers in issue order (equivalence-test instrumentation).
         self.pick_log: Optional[List[int]] = None
 
@@ -268,7 +279,7 @@ class FRFCFSController:
                     finish,
                     row=request.row,
                 )
-            self.sim.at(finish, self._complete, request)
+            self.sim.at_monotone(self._timers, finish, self._complete, request)
             yield ISSUE_SLOT_PS
         self._running = False
 

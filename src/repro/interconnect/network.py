@@ -112,6 +112,13 @@ class PacketNetwork:
                 state.directions.append(link)
         self.watchdog = LinkWatchdog(threshold=watchdog_threshold, name=name)
         self.watchdog.on_dead = self._on_watchdog_dead
+        # inter-DIMM lookahead: nothing a packet does at one hop can
+        # schedule work at the next hop sooner than the SerDes propagation
+        # plus router latency (the per-link BandwidthResources already
+        # contribute wire_latency + 1 each; this is the full-hop bound)
+        sim.register_lookahead(
+            f"{name}.hop", wire_latency_ps + hop_latency_ps + 1
+        )
         # event/process labels are fixed per network: build them once
         # instead of formatting a fresh string on every packet
         self._n_send_self = f"{name}.send.self"
@@ -255,7 +262,12 @@ class PacketNetwork:
             ) from exc
 
     def _backoff_ps(self, attempt: int) -> int:
-        return min(self.retry_penalty_ps * (2 ** (attempt - 1)), self.max_backoff_ps)
+        # cap the exponent before shifting: 2**(attempt-1) for a large
+        # attempt count would allocate a huge int only for min() to throw
+        # it away.  Any shift past the ceiling's bit length already
+        # saturates, so the clamped result is equal for every attempt.
+        shift = min(attempt - 1, MAX_BACKOFF_FACTOR.bit_length())
+        return min(self.retry_penalty_ps << shift, self.max_backoff_ps)
 
     def _hop_with_retry(self, a: int, b: int, wire_bytes: int):
         """Deliver one hop ``a -> b`` under the bounded retry/backoff loop.

@@ -18,7 +18,7 @@ from repro.perf.calibrate import calibrate
 #: machine-independent floors for --check: the indexed/cached paths must
 #: beat their in-process legacy counterparts by at least this ratio.
 #: Deliberately far below the typical 2-4x so CI noise cannot trip them.
-CHECK_FLOORS = {"frfcfs": 1.3, "route_lookup": 1.3}
+CHECK_FLOORS = {"epoch_fastforward": 1.5, "frfcfs": 1.3, "route_lookup": 1.3}
 
 SCHEMA = "repro.perf/1"
 
@@ -74,7 +74,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail unless the frfcfs/route_lookup speedup floors are met",
+        help="fail unless the recorded speedup floors are met",
     )
     args = parser.parse_args(argv)
 

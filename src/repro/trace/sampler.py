@@ -41,8 +41,15 @@ class TimeSeriesSampler:
         self.prefixes = tuple(prefixes) if prefixes else None
         #: (window_end_ps, {counter: delta}) per completed window.
         self.samples: List[Tuple[int, Dict[str, float]]] = []
+        #: actual width of each window in ``samples`` — ``window_ps`` for
+        #: full windows, shorter for the trailing partial one (and for the
+        #: first window after a finalize/resume realigns the boundaries).
+        #: Rate conversions divide by this, not the nominal width.
+        self.widths: List[int] = []
         self._last: Dict[str, float] = {}
         self._next_boundary = window_ps
+        #: end of the most recently emitted window (width bookkeeping).
+        self._last_emit_ps = 0
         self._finalized_at: Optional[int] = None
 
     def _snapshot(self) -> Dict[str, float]:
@@ -61,6 +68,8 @@ class TimeSeriesSampler:
             if value != self._last.get(key, 0.0)
         }
         self.samples.append((boundary_ps, deltas))
+        self.widths.append(boundary_ps - self._last_emit_ps)
+        self._last_emit_ps = boundary_ps
         self._last = snap
 
     def on_time_advance(self, now_ps: int) -> None:
@@ -70,11 +79,17 @@ class TimeSeriesSampler:
             self._next_boundary += self.window_ps
 
     def finalize(self, now_ps: int) -> None:
-        """Emit the trailing partial window (idempotent per end time)."""
+        """Emit the trailing partial window (idempotent per end time).
+
+        A run ending exactly on a window boundary has nothing left to
+        emit; otherwise the partial window is recorded with its *actual*
+        width so rate conversions stay honest, and subsequent sampling
+        (finalize-after-resume) realigns to ``now_ps``.
+        """
         if self._finalized_at == now_ps:
             return
         self._finalized_at = now_ps
-        if now_ps > self._next_boundary - self.window_ps:
+        if now_ps > self._last_emit_ps:
             self._emit(now_ps)
             self._next_boundary = now_ps + self.window_ps
 
@@ -85,9 +100,16 @@ class TimeSeriesSampler:
         return [(t, deltas.get(name, 0.0)) for t, deltas in self.samples]
 
     def rate_series(self, name: str) -> List[Tuple[int, float]]:
-        """(window_end_ps, delta per ns) — for byte counters this is GB/s."""
-        scale = _PS_PER_NS / self.window_ps
-        return [(t, delta * scale) for t, delta in self.series(name)]
+        """(window_end_ps, delta per ns) — for byte counters this is GB/s.
+
+        Each window is divided by its *actual* width: the trailing
+        partial window (a run rarely ends exactly on a boundary) would
+        otherwise under-report its rate by ``width / window_ps``.
+        """
+        return [
+            (t, delta * _PS_PER_NS / width)
+            for (t, delta), width in zip(self.series(name), self.widths)
+        ]
 
     def tracked_names(self) -> List[str]:
         """Every counter that changed in at least one window."""

@@ -1,0 +1,307 @@
+"""Differential suite for the epoch-synchronized fast-forward loop.
+
+The epoch loop (:meth:`Simulator._run_epoch`, the default) must be
+observationally indistinguishable from the legacy one-pop-per-event loop
+(``legacy=True``): same callback order, same clock values, same error
+behaviour, same stats, same trace streams — bit-identical, the property
+that lets :data:`repro.results_cache.CODE_VERSION` stay unchanged across
+the refactor.  Every test here runs the same scenario under both loops
+and asserts the observable outcome is equal.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.experiments.runner import RunSpec, execute_spec
+from repro.sim import (
+    BandwidthResource,
+    Simulator,
+    StallWatchdog,
+    default_loop_legacy,
+    set_default_loop,
+)
+
+# -- engine-level probes -----------------------------------------------------------
+
+
+def _probe_sim(legacy):
+    """A scenario crossing every scheduling path: countdown-queue timers,
+    plain heap timers, intra-epoch arrival chains, processes, and one
+    deliberately non-monotone timer that must fall back to the heap."""
+    sim = Simulator(legacy=legacy)
+    log = []
+
+    def note(tag):
+        log.append((sim.now, tag))
+
+    link = BandwidthResource(sim, 10.0, latency_ps=40_000, name="link")
+    aux = sim.timer_queue("aux")
+
+    def worker(count, size, tag):
+        for i in range(count):
+            yield link.transfer(size)
+            note(f"{tag}:{i}")
+
+    sim.process(worker(25, 256, "wa"), name="wa")
+    sim.process(worker(25, 192, "wb"), name="wb")
+
+    def chain(depth):
+        note(f"chain:{depth}")
+        if depth:
+            # 1.5ns < the link's 40ns lookahead: lands inside the open
+            # epoch and must merge through the pending heap
+            sim.schedule(1_500, chain, depth - 1)
+
+    sim.schedule(3_000, chain, 12)
+
+    when = 5_000
+    for i in range(30):
+        sim.at_monotone(aux, when, note, f"aux:{i}")
+        when += 7_000
+    sim.at_monotone(aux, 12_345, note, "aux:ooo")  # non-monotone -> heap
+
+    for i in range(10):
+        sim.at(9_000 + 17_000 * i, note, f"at:{i}")
+    return sim, log
+
+
+def test_event_order_is_identical_across_loops():
+    sim_e, log_e = _probe_sim(legacy=False)
+    sim_l, log_l = _probe_sim(legacy=True)
+    end_e = sim_e.run()
+    end_l = sim_l.run()
+    assert log_e  # the probe actually exercised something
+    assert log_e == log_l
+    assert end_e == end_l
+
+
+def test_until_segments_match_single_shot():
+    """Slicing a run into ``until`` segments must not change anything."""
+    sim_one, log_one = _probe_sim(legacy=False)
+    sim_one.run()
+
+    for legacy in (False, True):
+        sim, log = _probe_sim(legacy=legacy)
+        now = 0
+        for horizon in range(20_000, 400_000, 37_000):
+            now = sim.run(until=horizon)
+            assert now == horizon  # clock always lands on the horizon
+        sim.run()
+        assert log == log_one
+
+
+def test_max_events_budget_parity():
+    n_events = _probe_event_count()
+
+    for legacy in (False, True):
+        # a run completing in exactly max_events events must NOT raise
+        sim, log = _probe_sim(legacy=legacy)
+        sim.run(max_events=n_events)
+        assert len(log) > 0
+
+        # one short of the budget must raise, and the queue must stay
+        # consistent enough to resume to the identical final state
+        sim, log = _probe_sim(legacy=legacy)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=n_events - 1)
+        sim.run()
+        _sim_ref, log_ref = _probe_sim(legacy=True)
+        _sim_ref.run()
+        assert log == log_ref
+
+
+def _probe_event_count():
+    """Exact number of events the probe executes: the smallest
+    ``max_events`` budget the reference loop completes under."""
+    low, high = 0, 10_000
+    while low < high:
+        mid = (low + high) // 2
+        sim, _log = _probe_sim(legacy=True)
+        try:
+            sim.run(max_events=mid)
+        except SimulationError:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def test_deadlock_detection_parity():
+    messages = []
+    for legacy in (False, True):
+        sim = Simulator(legacy=legacy)
+        never = sim.event(name="never")
+
+        def waiter():
+            yield never
+
+        sim.process(waiter(), name="stuck")
+        sim.schedule(1_000, lambda _arg: None)
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(watchdog=StallWatchdog(detect_deadlock=True))
+        messages.append(str(excinfo.value))
+    assert messages[0] == messages[1]
+
+
+def test_default_loop_round_trip():
+    baseline = default_loop_legacy()
+    try:
+        previous = set_default_loop(True)
+        assert previous == baseline
+        assert default_loop_legacy() is True
+        assert Simulator()._legacy is True
+        assert set_default_loop(False) is True
+        assert Simulator()._legacy is False
+    finally:
+        set_default_loop(baseline)
+
+
+def test_lookahead_domain_validation_and_update():
+    sim = Simulator()
+    domain = sim.register_lookahead("x", 10_000)
+    assert domain.lookahead_ps == 10_000
+    with pytest.raises(SimulationError):
+        sim.register_lookahead("bad", 0)
+    with pytest.raises(SimulationError):
+        domain.update(-5)
+    domain.update(70_000)
+    assert domain.lookahead_ps == 70_000
+
+
+# -- TimerQueue unit coverage ------------------------------------------------------
+
+
+def test_timer_queue_take_until_partial_then_steal():
+    sim = Simulator()
+    fifo = sim.timer_queue("t")
+    fired = []
+    for when in (10, 20, 30):
+        sim.at_monotone(fifo, when, fired.append, when)
+    assert fifo.pending == 3
+    assert fifo.head_key()[0] == 10
+
+    first = fifo.take_until(15)  # partial: head advances
+    assert [entry[0] for entry in first] == [10]
+    assert fifo.pending == 2
+
+    rest = fifo.take_until(30)  # consumes through the end with head > 0
+    assert [entry[0] for entry in rest] == [20, 30]
+    assert fifo.pending == 0
+    assert fifo.head_key() is None
+
+    # the queue must be cleanly reusable after the backing lists reset
+    sim.at_monotone(fifo, 40, fired.append, 40)
+    assert fifo.pending == 1
+    stolen = fifo.take_until(100)  # head == 0: the list itself is handed over
+    assert [entry[0] for entry in stolen] == [40]
+    assert fifo.pending == 0
+
+
+def test_timer_queue_compaction_keeps_entries_aligned():
+    sim = Simulator()
+    fifo = sim.timer_queue("big")
+    total = 5_000
+    for when in range(1, total + 1):
+        sim.at_monotone(fifo, when, lambda _a: None, None)
+    taken = fifo.take_until(4_500)  # crosses the compaction threshold
+    assert len(taken) == 4_500
+    assert fifo.pending == 500
+    assert fifo.head_key()[0] == 4_501
+    rest = fifo.take_until(total)
+    assert [entry[0] for entry in rest] == list(range(4_501, total + 1))
+
+
+def test_non_monotone_timers_preserve_global_order():
+    for legacy in (False, True):
+        sim = Simulator(legacy=legacy)
+        fifo = sim.timer_queue("mix")
+        order = []
+        for when in (50_000, 60_000, 20_000, 70_000, 10_000):
+            sim.at_monotone(fifo, when, order.append, when)
+        sim.run()
+        assert order == [10_000, 20_000, 50_000, 60_000, 70_000]
+
+
+# -- mechanism-level differential --------------------------------------------------
+
+#: one tiny spec per mechanism plus the special corners (CPU baseline,
+#: DL-opt flow, fault injection) — mirrors the determinism suite.
+SPECS = {
+    "cpu": RunSpec(
+        config="4D-2C", workload="pagerank", size="tiny", kind="cpu", mechanism="cpu"
+    ),
+    "mcn": RunSpec(config="4D-2C", workload="pagerank", size="tiny", mechanism="mcn"),
+    "aim": RunSpec(config="4D-2C", workload="pagerank", size="tiny", mechanism="aim"),
+    "abc": RunSpec(config="4D-2C", workload="spmv_bc", size="tiny", mechanism="abc"),
+    "dimm_link": RunSpec(
+        config="4D-2C", workload="pagerank", size="tiny", mechanism="dimm_link"
+    ),
+    "dl_opt": RunSpec(
+        config="4D-2C", workload="pagerank", size="tiny", kind="optimized"
+    ),
+    "faulted": RunSpec(
+        config="8D-4C",
+        workload="uniform_random",
+        size="tiny",
+        seed=11,
+        mechanism="dimm_link",
+        fault_fraction=0.67,
+    ),
+}
+
+
+def _execute_under(spec, legacy):
+    previous = set_default_loop(legacy)
+    try:
+        return execute_spec(spec)
+    finally:
+        set_default_loop(previous)
+
+
+@pytest.mark.parametrize("label", sorted(SPECS))
+def test_run_results_identical_across_loops(label):
+    spec = SPECS[label]
+    epoch = json.dumps(_execute_under(spec, False).to_json_dict(), sort_keys=True)
+    legacy = json.dumps(_execute_under(spec, True).to_json_dict(), sort_keys=True)
+    assert epoch == legacy
+
+
+def test_trace_streams_identical_across_loops():
+    """Spans, instants, and sampler windows — not just end-of-run stats."""
+    from repro.experiments.trace_run import run_traced
+
+    captures = []
+    for legacy in (False, True):
+        previous = set_default_loop(legacy)
+        try:
+            traced = run_traced("table1", size="tiny")
+        finally:
+            set_default_loop(previous)
+        recorder = traced["recorder"]
+        sampler = traced["sampler"]
+        captures.append(
+            (
+                recorder.spans,
+                recorder.instants,
+                recorder.dropped,
+                sampler.samples,
+                sampler.widths,
+                traced["result"].time_ps,
+            )
+        )
+    assert captures[0] == captures[1]
+
+
+def test_loops_can_interleave_on_one_simulator():
+    """run(legacy=True) mid-stream drains the countdown queues safely."""
+    sim_ref, log_ref = _probe_sim(legacy=False)
+    sim_ref.run()
+
+    sim, log = _probe_sim(legacy=False)
+    sim.run(until=60_000)
+    sim.run(until=200_000, legacy=True)  # legacy slice in the middle
+    sim.run()
+    assert log == log_ref
+    assert sim.now == sim_ref.now

@@ -258,3 +258,20 @@ def test_broadcast_fails_over_partition():
 
     sim.run_process(sender())
     assert outcome == ["failed"]
+
+
+def test_backoff_matches_unbounded_formula_and_stays_capped():
+    _sim, _stats, network = _network()
+    penalty = network.retry_penalty_ps
+    cap = network.max_backoff_ps
+    # the clamped-shift implementation must equal the original
+    # min(penalty * 2**(attempt-1), cap) for every attempt, including
+    # counts large enough that 2**(attempt-1) would be a huge int
+    for attempt in list(range(1, 20)) + [64, 1_000, 100_000]:
+        expected = min(penalty * 2 ** min(attempt - 1, 64), cap)
+        assert network._backoff_ps(attempt) == expected
+    # saturation: attempts past the cap all back off by exactly the cap
+    assert network._backoff_ps(10) == cap
+    assert network._backoff_ps(100_000) == cap
+    # the first attempt is the bare penalty
+    assert network._backoff_ps(1) == penalty

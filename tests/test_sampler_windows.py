@@ -1,0 +1,81 @@
+"""Window-edge regression suite for :class:`TimeSeriesSampler`.
+
+The trailing partial window used to be divided by the *nominal*
+``window_ps`` in :meth:`rate_series`, under-reporting the final rate by
+``actual_width / window_ps``.  Samples now carry their actual width, and
+these tests pin the edges: runs ending exactly on a boundary, runs
+shorter than one window, and finalize-after-resume realignment.
+"""
+
+from repro.sim import StatRegistry
+from repro.trace import TimeSeriesSampler
+
+
+def test_partial_window_rate_uses_actual_width():
+    stats = StatRegistry()
+    sampler = TimeSeriesSampler(stats, window_ps=100)
+    stats.add("dl.bytes", 64)
+    sampler.on_time_advance(100)
+    stats.add("dl.bytes", 50)
+    sampler.finalize(150)
+    assert sampler.series("dl.bytes") == [(100, 64.0), (150, 50.0)]
+    assert sampler.widths == [100, 50]
+    # 50 bytes over the *actual* 50 ps tail = 1000 bytes/ns, not 500
+    assert sampler.rate_series("dl.bytes") == [(100, 640.0), (150, 1000.0)]
+
+
+def test_run_ending_exactly_on_boundary_emits_nothing_extra():
+    stats = StatRegistry()
+    sampler = TimeSeriesSampler(stats, window_ps=100)
+    stats.add("x", 1)
+    sampler.on_time_advance(100)
+    stats.add("x", 2)
+    sampler.on_time_advance(200)
+    sampler.finalize(200)  # boundary-exact end: no partial window
+    assert sampler.series("x") == [(100, 1.0), (200, 2.0)]
+    assert sampler.widths == [100, 100]
+
+
+def test_run_shorter_than_one_window():
+    stats = StatRegistry()
+    sampler = TimeSeriesSampler(stats, window_ps=1_000)
+    stats.add("x", 30)
+    sampler.finalize(60)
+    assert sampler.series("x") == [(60, 30.0)]
+    assert sampler.widths == [60]
+    assert sampler.rate_series("x") == [(60, 30.0 * 1000.0 / 60.0)]
+
+
+def test_finalize_after_resume_realigns_boundaries():
+    stats = StatRegistry()
+    sampler = TimeSeriesSampler(stats, window_ps=100)
+    stats.add("x", 4)
+    sampler.on_time_advance(100)
+    stats.add("x", 6)
+    sampler.finalize(150)  # first segment ends mid-window
+
+    # resumed run: boundaries realign to 150 + k * 100
+    stats.add("x", 8)
+    sampler.on_time_advance(250)
+    stats.add("x", 10)
+    sampler.finalize(300)
+
+    assert sampler.series("x") == [
+        (100, 4.0),
+        (150, 6.0),
+        (250, 8.0),
+        (300, 10.0),
+    ]
+    assert sampler.widths == [100, 50, 100, 50]
+    rates = sampler.rate_series("x")
+    assert rates[1] == (150, 6.0 * 1000.0 / 50.0)
+    assert rates[3] == (300, 10.0 * 1000.0 / 50.0)
+
+
+def test_empty_windows_still_track_width():
+    stats = StatRegistry()
+    sampler = TimeSeriesSampler(stats, window_ps=100)
+    sampler.on_time_advance(350)  # three boundaries crossed, no counters
+    sampler.finalize(350)
+    assert sampler.widths == [100, 100, 100, 50]
+    assert sampler.samples[-1][0] == 350

@@ -456,3 +456,21 @@ def test_watchdog_rejects_nonpositive_budget():
 
     with pytest.raises(SimulationError):
         StallWatchdog(wall_clock_limit_s=0.0)
+
+
+def test_max_events_exact_budget_completes():
+    # a run finishing in exactly max_events events is within budget: the
+    # guard fires only when one MORE in-horizon event would exceed it
+    for legacy in (False, True):
+        sim = Simulator(legacy=legacy)
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, fired.append, i)
+        assert sim.run(max_events=10) == 10
+        assert fired == list(range(10))
+
+        sim = Simulator(legacy=legacy)
+        for i in range(10):
+            sim.schedule(i + 1, fired.append, i)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=9)
