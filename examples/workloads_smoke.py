@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Workload-suite smoke test: dlrm + apsp end to end, cold then warm.
+
+Drives both workload-suite experiments the way a user would
+(``dimmlink-repro dlrm|apsp --size tiny``) against a shared results
+cache, and asserts the suite's contract:
+
+* both sweeps **complete** cold (every spec simulated, tables printed);
+* the APSP sweep's blocked numerics are **zero-diff** against the
+  triple-loop Floyd–Warshall reference, checked here directly as well as
+  by the sweep's own ``verify`` pass;
+* a warm rerun of both experiments replays >= 90% of its grid points
+  from the cache — params-carrying specs (``batch_size=...``,
+  ``block=...,n=...``) round-trip through the cache keys.
+
+Run:  PYTHONPATH=src python examples/workloads_smoke.py [cache-dir]
+
+Exits nonzero (via assert) if any guarantee is violated; used as the CI
+workloads-smoke step.
+"""
+
+import re
+import sys
+import tempfile
+from contextlib import redirect_stdout
+from io import StringIO
+
+from repro.experiments.cli import main as cli_main
+from repro.workloads.apsp import BlockedFloydWarshall
+
+EXPERIMENTS = ("dlrm", "apsp")
+
+
+def run_cli(experiment: str, cache_dir: str) -> str:
+    out = StringIO()
+    with redirect_stdout(out):
+        code = cli_main([experiment, "--size", "tiny", "--cache-dir", cache_dir])
+    text = out.getvalue()
+    assert code == 0, f"{experiment} exited {code}:\n{text}"
+    return text
+
+
+def cache_stats(output: str):
+    match = re.search(r"\[cache\] cache\.hits=(\d+) cache\.misses=(\d+)", output)
+    assert match, f"no cache stat line:\n{output}"
+    return int(match.group(1)), int(match.group(2))
+
+
+def main() -> None:
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="workloads-smoke-"
+    )
+
+    # zero-diff APSP numerics, asserted independently of the sweep
+    workload = BlockedFloydWarshall(n=48, block=12)
+    assert workload.blocked_distances() == workload.reference_distances(), (
+        "blocked Floyd-Warshall diverged from the triple-loop reference"
+    )
+    print("apsp numerics: blocked == reference (zero diff)")
+
+    total_hits = total_misses = 0
+    for experiment in EXPERIMENTS:
+        cold = run_cli(experiment, cache_dir)
+        hits, misses = cache_stats(cold)
+        assert misses > 0, f"{experiment}: cold run simulated nothing"
+        print(f"{experiment} cold: {misses} simulated, {hits} replayed")
+
+        warm = run_cli(experiment, cache_dir)
+        hits, misses = cache_stats(warm)
+        total_hits += hits
+        total_misses += misses
+        print(f"{experiment} warm: {hits} hits / {misses} misses")
+
+        strip = lambda text: [
+            line for line in text.splitlines() if "[cache]" not in line
+        ]
+        assert strip(warm) == strip(cold), (
+            f"{experiment}: warm table differs from cold table"
+        )
+
+    rate = total_hits / (total_hits + total_misses)
+    print(f"warm hit rate across both suites: {rate:.0%}")
+    assert rate >= 0.90, f"warm cache hit rate {rate:.0%} < 90%"
+    print("workloads smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,47 @@
-"""Reporting helpers: geomeans, speedups, ASCII tables."""
+"""Reporting helpers: geomeans, speedups, percentiles, ASCII tables."""
 
 from __future__ import annotations
 
 import math
 from typing import Dict, Iterable, List, Sequence
+
+from repro.sim.stats import Histogram
+
+
+def histogram_percentile(histograms: Sequence[Histogram], q: float) -> float:
+    """Approximate q-quantile (``q`` in [0, 1]) over merged histograms.
+
+    Per-core latency histograms (e.g. every ``dimm*.dlrm.batch_ps``)
+    only keep log2 buckets, so the quantile is read from the merged
+    bucket counts: the answer is the holding bucket's upper edge
+    ``2^(b+1)``, clamped into the exact observed [min, max] so p0/p100
+    are tight and a single-bucket distribution reports its true range
+    rather than a power of two.  Returns 0.0 when no samples exist.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    merged: Dict[int, int] = {}
+    total = 0
+    lo: float = math.inf
+    hi: float = -math.inf
+    for hist in histograms:
+        total += hist.count
+        if hist.min is not None:
+            lo = min(lo, hist.min)
+        if hist.max is not None:
+            hi = max(hi, hist.max)
+        for bucket, count in hist.buckets():
+            merged[bucket] = merged.get(bucket, 0) + count
+    if not total:
+        return 0.0
+    rank = max(1, math.ceil(q * total))
+    cumulative = 0
+    for bucket in sorted(merged):
+        cumulative += merged[bucket]
+        if cumulative >= rank:
+            value = 0.0 if bucket == Histogram.NONPOS_BUCKET else 2.0 ** (bucket + 1)
+            return min(max(value, lo), hi)
+    return hi
 
 
 def geomean(values: Iterable[float]) -> float:

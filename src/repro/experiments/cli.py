@@ -56,7 +56,9 @@ from typing import Callable, Dict
 from repro.errors import SweepExecutionError
 
 from repro.experiments import (
+    apsp_sweep,
     disaggregated_memory,
+    dlrm_serving,
     fig01_idc_bandwidth,
     fig10_p2p,
     fig11_breakdown,
@@ -80,6 +82,8 @@ DEFAULT_CACHE_DIR = ".dimmlink-cache"
 
 #: experiment name -> main(size) callable (or main() for size-less ones).
 _SIZED: Dict[str, Callable[[str], None]] = {
+    "apsp": apsp_sweep.main,
+    "dlrm": dlrm_serving.main,
     "fig10": fig10_p2p.main,
     "fig11": fig11_breakdown.main,
     "fig12": fig12_broadcast.main,
@@ -105,6 +109,8 @@ _UNSIZED: Dict[str, Callable[[], None]] = {
 _GRIDDED = {
     name: module
     for name, module in {
+        "apsp": apsp_sweep,
+        "dlrm": dlrm_serving,
         "fig10": fig10_p2p,
         "fig11": fig11_breakdown,
         "fig12": fig12_broadcast,

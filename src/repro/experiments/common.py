@@ -22,8 +22,10 @@ from repro.mapping.placement import distance_aware_placement
 from repro.mapping.profile import DEFAULT_PROFILE_FRACTION, profile_traffic
 from repro.nmp.results import RunResult
 from repro.nmp.system import NMPSystem
+from repro.workloads.apsp import BlockedFloydWarshall
 from repro.workloads.base import Workload
 from repro.workloads.bfs import BFS
+from repro.workloads.dlrm import DLRMEmbedding
 from repro.workloads.hotspot import Hotspot
 from repro.workloads.kmeans import KMeans
 from repro.workloads.nw import NeedlemanWunsch
@@ -44,11 +46,65 @@ _GRAPH_SCALE = {"tiny": 9, "small": 11, "large": 12}
 _BYTE_SCALE = {"tiny": 4, "small": 24, "large": 48}
 _ITERS = {"tiny": 2, "small": 4, "large": 8}
 
+#: DLRM embedding-serving shapes per size preset (overridable via
+#: ``overrides`` — the sweep experiments vary ``batch_size``).
+_DLRM_PRESETS = {
+    "tiny": dict(
+        tables=4, rows=128, dim=8, pooling=4, batches_per_thread=2, batch_size=8
+    ),
+    "small": dict(
+        tables=8, rows=512, dim=16, pooling=8, batches_per_thread=4, batch_size=32
+    ),
+    "large": dict(
+        tables=16, rows=2048, dim=32, pooling=16, batches_per_thread=8, batch_size=64
+    ),
+}
 
-def build_workload(name: str, size: str = "small", seed: int = 42) -> Workload:
-    """Instantiate a Table IV workload at a size preset."""
+#: blocked Floyd–Warshall shapes per size preset (``n``/``block``
+#: overridable — the APSP experiment sweeps graph size).
+_APSP_PRESETS = {
+    "tiny": dict(n=48, block=12, density=0.25),
+    "small": dict(n=96, block=12, density=0.25),
+    "large": dict(n=192, block=16, density=0.25),
+}
+
+#: workloads accepting parameter overrides, with their preset tables.
+_PARAMETERIZED = {"dlrm": _DLRM_PRESETS, "apsp": _APSP_PRESETS}
+
+
+def build_workload(
+    name: str,
+    size: str = "small",
+    seed: int = 42,
+    overrides: Optional[Dict[str, object]] = None,
+) -> Workload:
+    """Instantiate a Table IV workload at a size preset.
+
+    ``overrides`` tunes individual shape parameters of the parameterized
+    workloads (``dlrm``, ``apsp``) on top of their size preset — unknown
+    keys, and any override on a non-parameterized workload, raise
+    :class:`~repro.errors.ConfigError` so a typo can't silently run the
+    preset shape.
+    """
     if size not in _SIZES:
         raise ConfigError(f"unknown size {size!r}; choose from {_SIZES}")
+    if name in _PARAMETERIZED:
+        kwargs = dict(_PARAMETERIZED[name][size])
+        for key, value in sorted((overrides or {}).items()):
+            if key not in kwargs:
+                raise ConfigError(
+                    f"unknown {name} parameter {key!r}; "
+                    f"choose from {sorted(kwargs)}"
+                )
+            kwargs[key] = value
+        if name == "dlrm":
+            return DLRMEmbedding(seed=seed, **kwargs)
+        return BlockedFloydWarshall(seed=seed, **kwargs)
+    if overrides:
+        raise ConfigError(
+            f"workload {name!r} does not accept parameter overrides "
+            f"(got {sorted(overrides)})"
+        )
     scale = _GRAPH_SCALE[size]
     bscale = _BYTE_SCALE[size]
     iters = _ITERS[size]

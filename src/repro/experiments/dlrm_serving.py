@@ -1,0 +1,147 @@
+"""DLRM embedding serving — batched QPS and tail latency vs mechanism.
+
+Sweeps serving batch size x IDC mechanism for the DLRM embedding
+workload (:mod:`repro.workloads.dlrm`) on the 16D-8C system.  Top-line
+metrics are batched queries/second and p50/p99 per-batch latency (read
+from the ``dlrm.batch_ps`` histograms every core records), plus energy
+per query from the Fig. 13 accounting.
+
+Expected shape: CPU-forwarding pays the host round-trip on every
+partial-vector gather, so DIMM-Link's advantage grows with the pooling
+factor (more shard partials per query); DL-opt adds the distance-aware
+placement on top.  Larger batches amortize per-batch overheads for every
+mechanism but widen the p99/p50 gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table, geomean, histogram_percentile
+from repro.energy.accounting import energy_report
+from repro.experiments.common import build_workload, threads_for
+from repro.experiments.runner import RunSpec, SweepRunner, build_spec_config, run_specs
+from repro.sim.time import to_s, to_us
+from repro.workloads.dlrm import BATCH_STAMP
+
+DEFAULT_CONFIG = "16D-8C"
+
+#: serving mechanisms compared: the host baseline, the MCN NMP baseline,
+#: DIMM-Link, and the DL-opt placement flow.
+MECHANISMS: Tuple[Tuple[str, str, str], ...] = (
+    # (label, spec kind, spec mechanism)
+    ("cpu", "cpu", "cpu"),
+    ("mcn", "nmp", "mcn"),
+    ("dimm_link", "nmp", "dimm_link"),
+    ("dl_opt", "optimized", "dimm_link"),
+)
+
+#: batch sizes swept, per size preset.
+BATCH_SIZES = {
+    "tiny": (4, 8),
+    "small": (16, 32, 64),
+    "large": (32, 64, 128),
+}
+
+
+def specs(
+    size: str = "small",
+    config_name: str = DEFAULT_CONFIG,
+    batch_sizes: Optional[Sequence[int]] = None,
+) -> List[RunSpec]:
+    """The sweep as a flat spec list: one run per (batch size, mechanism)."""
+    sizes = batch_sizes if batch_sizes is not None else BATCH_SIZES[size]
+    return [
+        RunSpec(
+            config=config_name,
+            workload="dlrm",
+            size=size,
+            kind=kind,
+            mechanism=mechanism,
+            params=f"batch_size={batch}",
+        )
+        for batch in sizes
+        for _label, kind, mechanism in MECHANISMS
+    ]
+
+
+def run(
+    size: str = "small",
+    config_name: str = DEFAULT_CONFIG,
+    batch_sizes: Optional[Sequence[int]] = None,
+    runner: Optional[SweepRunner] = None,
+) -> List[Dict[str, object]]:
+    """One row per (batch size, mechanism): QPS, p50/p99, energy/query."""
+    sizes = batch_sizes if batch_sizes is not None else BATCH_SIZES[size]
+    grid = specs(size, config_name, sizes)
+    results = iter(run_specs(grid, runner))
+    config = build_spec_config(grid[0])
+    threads = threads_for(config)
+    rows = []
+    for batch in sizes:
+        workload = build_workload(
+            "dlrm", size, overrides={"batch_size": batch}
+        )
+        queries = threads * workload.batches_per_thread * batch
+        cpu_ps: Optional[int] = None
+        for label, _kind, _mechanism in MECHANISMS:
+            result = next(results)
+            if label == "cpu":
+                cpu_ps = result.total_ps
+            latencies = list(
+                result.stats.histograms_suffix(BATCH_STAMP).values()
+            )
+            energy = energy_report(result, config, polling=result.polling)
+            rows.append(
+                {
+                    "batch_size": batch,
+                    "mechanism": label,
+                    "qps": queries / to_s(result.total_ps),
+                    "p50_us": to_us(histogram_percentile(latencies, 0.50)),
+                    "p99_us": to_us(histogram_percentile(latencies, 0.99)),
+                    "uj_per_query": energy.total_j * 1e6 / queries,
+                    "speedup": cpu_ps / result.total_ps,
+                }
+            )
+    return rows
+
+
+def summary(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Geomean speedup over the CPU baseline per mechanism."""
+    return {
+        f"{label}_geomean": geomean(
+            [float(r["speedup"]) for r in rows if r["mechanism"] == label]
+        )
+        for label, _kind, _mechanism in MECHANISMS
+    }
+
+
+def main(size: str = "small") -> None:
+    """Print the DLRM serving sweep."""
+    rows = run(size=size)
+    print("DLRM embedding serving: QPS and tail latency by mechanism")
+    print(
+        format_table(
+            ["batch", "mechanism", "QPS", "p50 us", "p99 us", "uJ/query", "speedup"],
+            [
+                (
+                    r["batch_size"],
+                    r["mechanism"],
+                    f"{float(r['qps']):.0f}",
+                    r["p50_us"],
+                    r["p99_us"],
+                    r["uj_per_query"],
+                    r["speedup"],
+                )
+                for r in rows
+            ],
+            precision=2,
+        )
+    )
+    print("\ngeomean speedup over CPU-forwarding:")
+    for label, value in summary(rows).items():
+        print(f"  {label}: {value:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -141,6 +141,11 @@ class RunSpec:
     #: fraction of each DL group's bridge links killed mid-run (0 = no
     #: fault schedule installed).
     fault_fraction: float = 0.0
+    #: workload parameter overrides as ``"key=value,key=value"`` (empty =
+    #: pure size preset).  Canonicalized to sorted-key order on
+    #: construction so equal overrides always hash equally; only the
+    #: parameterized workloads (``dlrm``, ``apsp``) accept them.
+    params: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -154,10 +159,23 @@ class RunSpec:
             raise ConfigError(
                 f"fault_fraction {self.fault_fraction} outside [0, 1]"
             )
+        if self.params:
+            canonical = ",".join(
+                f"{k}={v}" for k, v in sorted(parse_params(self.params).items())
+            )
+            object.__setattr__(self, "params", canonical)
 
     def to_json_dict(self) -> Dict[str, object]:
-        """All fields, JSON-safe (also the content the cache key hashes)."""
-        return dataclasses.asdict(self)
+        """All fields, JSON-safe (also the content the cache key hashes).
+
+        An empty ``params`` is omitted so every spec minted before the
+        field existed keeps its exact historical payload — and therefore
+        its cache key.  The golden-key tests pin this.
+        """
+        payload = dataclasses.asdict(self)
+        if not payload["params"]:
+            del payload["params"]
+        return payload
 
     def cache_key(self, code_version: int = CODE_VERSION) -> str:
         """Stable SHA-256 content hash over every field + code version."""
@@ -169,6 +187,39 @@ class RunSpec:
 
 
 # -- spec execution ------------------------------------------------------------------
+
+
+def parse_params(params: str) -> Dict[str, object]:
+    """Parse a spec's ``"key=value,key=value"`` overrides into a dict.
+
+    Values decode as int, then float, then string; keys must be unique
+    and non-empty.  Raises :class:`~repro.errors.ConfigError` on
+    malformed input so a bad ``--params`` fails loudly at spec build.
+    """
+    overrides: Dict[str, object] = {}
+    for item in params.split(","):
+        if not item:
+            continue
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigError(
+                f"malformed workload params {params!r}: expected "
+                "comma-separated key=value pairs"
+            )
+        if key in overrides:
+            raise ConfigError(f"duplicate workload param {key!r} in {params!r}")
+        raw = raw.strip()
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[key] = value
+    return overrides
 
 
 def link_down_schedule(
@@ -205,6 +256,11 @@ def build_spec_config(spec: RunSpec) -> SystemConfig:
 def build_spec_workload(spec: RunSpec) -> Workload:
     """Materialize the spec's workload instance."""
     if spec.workload == "uniform_random":
+        if spec.params:
+            raise ConfigError(
+                "uniform_random does not accept workload params "
+                f"(got {spec.params!r})"
+            )
         return UniformRandom(
             ops_per_thread=UNIFORM_OPS.get(spec.size, UNIFORM_OPS["small"]),
             remote_fraction=0.6,
@@ -212,7 +268,8 @@ def build_spec_workload(spec: RunSpec) -> Workload:
             nbytes=512,
             seed=spec.seed,
         )
-    return build_workload(spec.workload, spec.size, seed=spec.seed)
+    overrides = parse_params(spec.params) if spec.params else None
+    return build_workload(spec.workload, spec.size, seed=spec.seed, overrides=overrides)
 
 
 def execute_spec(spec: RunSpec) -> RunResult:

@@ -49,6 +49,8 @@ _DEFAULT = Scenario("16D-8C", "pagerank", "dimm_link", "proxy")
 
 #: experiment-specific overrides (everything else traces the default).
 SCENARIOS: Dict[str, Scenario] = {
+    "apsp": Scenario("16D-8C", "apsp", "dimm_link", "proxy"),
+    "dlrm": Scenario("16D-8C", "dlrm", "dimm_link", "proxy"),
     "fig12": Scenario("16D-8C", "spmv_bc", "dimm_link", "proxy"),
     "fig14": Scenario("16D-8C", "sssp", "dimm_link", "proxy"),
     "fig15": Scenario("16D-8C", "pagerank", "dimm_link", "baseline"),

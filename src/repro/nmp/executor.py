@@ -18,7 +18,7 @@ from repro.sim.engine import AllOf, Process, SimEvent, Simulator
 from repro.sim.resource import SlotResource
 from repro.sim.stats import StatRegistry
 from repro.sim.time import cycles
-from repro.workloads.ops import Barrier, Broadcast, Compute, Flush, Read, Write
+from repro.workloads.ops import Barrier, Broadcast, Compute, Flush, Read, Stamp, Write
 
 
 class ThreadExecutor(abc.ABC):
@@ -72,6 +72,7 @@ class ThreadExecutor(abc.ABC):
 
     def _thread_proc(self, thread_id: int, ops: Iterable):
         start = self.sim.now
+        interval_start = start
         trace = self.sim.trace
         thread_span = (
             trace.begin("nmp", "thread", self.name, thread=thread_id)
@@ -111,6 +112,10 @@ class ThreadExecutor(abc.ABC):
                 self.stats.add("core.barriers")
             elif isinstance(op, Flush):
                 yield from self._drain()
+            elif isinstance(op, Stamp):
+                yield from self._drain()
+                self.stats.histogram(op.key).record(self.sim.now - interval_start)
+                interval_start = self.sim.now
             else:
                 raise WorkloadError(f"unknown op {op!r}")
         yield from self._drain()

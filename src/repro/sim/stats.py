@@ -173,16 +173,47 @@ class StatRegistry:
         """
         return sum(v for _, v in sorted(self.counters(prefix).items()))
 
+    @staticmethod
+    def _suffix_match(key: str, suffix: str, dotted: str) -> bool:
+        """Whole-dotted-component suffix match: ``suffix`` itself or
+        ``*.suffix`` — never a mid-component substring.  ``apsp.rounds``
+        therefore matches suffix ``apsp.rounds`` but NOT suffix
+        ``p.rounds`` (the aliasing footgun :meth:`counters` already
+        guards against on the prefix side)."""
+        return key == suffix or key.endswith(dotted)
+
     def sum_suffix(self, suffix: str) -> float:
         """Sum of every counter (any scope) whose name ends with ``suffix``.
 
         Used to aggregate per-component counters such as
-        ``dimm3.core.busy_ps`` across the whole system.  Summation runs in
-        sorted-key order so the aggregate is insertion-order independent:
-        a registry rebuilt from JSON (sorted keys) yields the exact same
-        float as the live registry it was serialized from.
+        ``dimm3.core.busy_ps`` across the whole system.  Matching is on
+        whole dotted components (``core.busy_ps`` or ``*.core.busy_ps``),
+        so one namespace can never alias a substring of another (e.g.
+        suffix ``sp.bytes`` must not absorb ``apsp.bytes``).  Summation
+        runs in sorted-key order so the aggregate is insertion-order
+        independent: a registry rebuilt from JSON (sorted keys) yields
+        the exact same float as the live registry it was serialized from.
         """
-        return sum(v for k, v in sorted(self._counters.items()) if k.endswith(suffix))
+        dotted = "." + suffix
+        return sum(
+            v
+            for k, v in sorted(self._counters.items())
+            if self._suffix_match(k, suffix, dotted)
+        )
+
+    def histograms_suffix(self, suffix: str) -> Dict[str, Histogram]:
+        """Every histogram (any scope) named ``suffix``, sorted by key.
+
+        Same whole-component matching as :meth:`sum_suffix`; used to
+        aggregate per-core latency histograms (e.g. every
+        ``dimm*.dlrm.batch_ps``) into system-wide percentiles.
+        """
+        dotted = "." + suffix
+        return {
+            k: self._histograms[k]
+            for k in sorted(self._histograms)
+            if self._suffix_match(k, suffix, dotted)
+        }
 
     # -- serialization -------------------------------------------------------------
 

@@ -1,14 +1,16 @@
 """Benchmark workloads (Table IV) and the op-stream framework."""
 
+from repro.workloads.apsp import BlockedFloydWarshall
 from repro.workloads.base import ThreadFactory, Workload
 from repro.workloads.bfs import BFS
+from repro.workloads.dlrm import DLRMEmbedding
 from repro.workloads.graph import Graph, cross_partition_edges, from_edges, owner_of, partition_bounds, rmat
 from repro.workloads.graphkernels import GraphKernel, data_dimm, natural_homes
 from repro.workloads.hotspot import Hotspot
 from repro.workloads.kmeans import KMeans
 from repro.workloads.microbench import BulkTransfer, SyncInterval, UniformRandom
 from repro.workloads.nw import NeedlemanWunsch
-from repro.workloads.ops import Barrier, Broadcast, Compute, Flush, Read, Write
+from repro.workloads.ops import Barrier, Broadcast, Compute, Flush, Read, Stamp, Write
 from repro.workloads.pagerank import PageRank, PageRankBC
 from repro.workloads.spmv import SpMV, SpMVBC
 from repro.workloads.sssp import SSSP, SSSPBC
@@ -18,6 +20,8 @@ __all__ = [
     "ThreadFactory",
     "Workload",
     "BFS",
+    "BlockedFloydWarshall",
+    "DLRMEmbedding",
     "Graph",
     "cross_partition_edges",
     "from_edges",
@@ -38,6 +42,7 @@ __all__ = [
     "Compute",
     "Flush",
     "Read",
+    "Stamp",
     "Write",
     "PageRank",
     "PageRankBC",

@@ -58,5 +58,19 @@ class Flush:
     """Drain this thread's outstanding memory requests (local fence)."""
 
 
+@dataclass(frozen=True)
+class Stamp:
+    """Drain outstanding requests, then record the interval since the
+    thread started (or since its previous ``Stamp``) into the histogram
+    named ``key`` on the core's stat scope.
+
+    Serving-style workloads use this to expose per-batch latency
+    distributions (e.g. ``dlrm.batch_ps``) that experiments aggregate
+    into p50/p99 metrics — without per-workload executor subclasses.
+    """
+
+    key: str
+
+
 #: Union of every op type (for isinstance checks and docs).
-Op = (Compute, Read, Write, Broadcast, Barrier, Flush)
+Op = (Compute, Read, Write, Broadcast, Barrier, Flush, Stamp)

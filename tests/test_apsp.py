@@ -1,0 +1,167 @@
+"""Blocked Floyd–Warshall workload: exact APSP numerics + traffic model.
+
+The core property: the tiled min-plus schedule (any phase order, any
+block size, ragged edge tiles included) equals the plain triple-loop
+reference exactly — integer weights with an INF-guarded min-plus make
+equality bitwise.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.experiments.common import build_workload, run_cpu, run_nmp
+from repro.workloads.apsp import (
+    APSP_MECHANISMS,
+    INF,
+    ROUND_STAMP,
+    BlockedFloydWarshall,
+)
+from repro.workloads.ops import Barrier, Broadcast, Stamp
+
+
+# -- construction and determinism ----------------------------------------------------
+
+
+def test_rejects_nonsense_shapes():
+    with pytest.raises(WorkloadError):
+        BlockedFloydWarshall(n=0)
+    with pytest.raises(WorkloadError):
+        BlockedFloydWarshall(n=8, block=16)
+    with pytest.raises(WorkloadError):
+        BlockedFloydWarshall(density=0.0)
+    with pytest.raises(WorkloadError):
+        BlockedFloydWarshall(density=1.5)
+
+
+def test_adjacency_is_deterministic_and_well_formed():
+    a = BlockedFloydWarshall(n=24, block=8, seed=5)
+    b = BlockedFloydWarshall(n=24, block=8, seed=5)
+    assert a.adjacency() == b.adjacency()
+    assert a.adjacency() != BlockedFloydWarshall(n=24, block=8, seed=6).adjacency()
+    for i, row in enumerate(a.adjacency()):
+        assert row[i] == 0
+        assert all(w == INF or 1 <= w <= 16 for j, w in enumerate(row) if j != i)
+
+
+# -- golden-result property tests ----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n,block,seed,density",
+    [
+        (12, 4, 1, 0.3),
+        (16, 5, 2, 0.25),  # ragged: 16 % 5 != 0
+        (20, 7, 3, 0.2),  # ragged
+        (24, 6, 4, 0.35),
+        (24, 24, 5, 0.25),  # single tile
+        (30, 9, 6, 0.15),  # ragged, sparse
+        (32, 8, 7, 0.5),
+        (33, 10, 8, 0.25),  # ragged
+        (40, 12, 9, 0.1),  # sparse: unreachable pairs stay INF
+        (48, 16, 10, 0.25),
+    ],
+)
+def test_blocked_schedule_equals_reference(n, block, seed, density):
+    workload = BlockedFloydWarshall(n=n, block=block, seed=seed, density=density)
+    reference = workload.reference_distances()
+    assert workload.blocked_distances(order="row_first") == reference
+    assert workload.blocked_distances(order="col_first") == reference
+
+
+@pytest.mark.parametrize("mechanism", APSP_MECHANISMS)
+def test_every_mechanism_schedule_equals_reference(mechanism):
+    workload = BlockedFloydWarshall(n=26, block=7, seed=11)
+    assert workload.distances_via(mechanism) == workload.reference_distances()
+
+
+def test_unreachable_pairs_keep_the_inf_sentinel():
+    # density 0.02 on 24 nodes leaves disconnected pairs with certainty
+    workload = BlockedFloydWarshall(n=24, block=6, seed=3, density=0.02)
+    reference = workload.reference_distances()
+    unreachable = sum(
+        1 for row in reference for value in row if value == INF
+    )
+    assert unreachable > 0  # sentinel survived untouched (no INF + w creep)
+    assert workload.blocked_distances() == reference
+    assert max(v for row in reference for v in row if v < INF) < INF // 2
+
+
+def test_rejects_unknown_order_and_mechanism():
+    workload = BlockedFloydWarshall(n=12, block=4)
+    with pytest.raises(WorkloadError):
+        workload.blocked_distances(order="diagonal")
+    with pytest.raises(WorkloadError):
+        workload.distances_via("warp")
+
+
+# -- traffic model -------------------------------------------------------------------
+
+
+def test_tile_owner_and_home_cover_everything():
+    workload = BlockedFloydWarshall(n=48, block=12)
+    owners = set()
+    homes = set()
+    for ti in range(workload.tiles):
+        for tj in range(workload.tiles):
+            owners.add(workload.tile_owner(ti, tj, 8))
+            homes.add(workload.tile_home(ti, tj, 4))
+    assert owners <= set(range(8))
+    assert homes == set(range(4))  # every DIMM stores some tiles
+
+
+def test_factories_are_reinvocable_and_deterministic():
+    workload = BlockedFloydWarshall(n=36, block=12, seed=2)
+    factories = workload.thread_factories(8, 4)
+    first = [list(f()) for f in factories]
+    second = [list(f()) for f in factories]
+    assert first == second
+
+
+def test_op_stream_has_per_round_broadcasts_barriers_and_stamps():
+    workload = BlockedFloydWarshall(n=48, block=12, seed=2)
+    tiles = workload.tiles
+    num_threads = 8
+    factories = workload.thread_factories(num_threads, 4)
+    total_broadcasts = 0
+    for factory in factories:
+        ops = list(factory())
+        barriers = [op for op in ops if isinstance(op, Barrier)]
+        stamps = [op for op in ops if isinstance(op, Stamp)]
+        total_broadcasts += sum(1 for op in ops if isinstance(op, Broadcast))
+        # three phase barriers and one round stamp per pivot round, even
+        # for threads owning no tile in some phase (no deadlock skew)
+        assert len(barriers) == 3 * tiles
+        assert len(stamps) == tiles
+        assert all(op.key == ROUND_STAMP for op in stamps)
+    # per round: the pivot tile + every pivot-row/column tile floods once
+    assert total_broadcasts == tiles * (2 * tiles - 1)
+
+
+# -- end-to-end runs -----------------------------------------------------------------
+
+
+def test_nmp_run_counts_broadcasts_and_round_latencies():
+    config = SystemConfig.named("4D-2C")
+    workload = build_workload("apsp", "tiny")
+    result = run_nmp(config, workload, mechanism="dimm_link")
+    tiles = workload.tiles
+    assert result.counter("core.broadcasts") == tiles * (2 * tiles - 1)
+    histograms = result.stats.histograms_suffix(ROUND_STAMP)
+    threads = config.num_dimms * config.nmp.cores_per_dimm
+    assert sum(h.count for h in histograms.values()) == threads * tiles
+
+
+def test_cpu_run_executes_the_same_stream():
+    config = SystemConfig.named("4D-2C")
+    workload = build_workload("apsp", "tiny")
+    result = run_cpu(config, workload)
+    assert result.time_ps > 0
+    histograms = result.stats.histograms_suffix(ROUND_STAMP)
+    assert sum(h.count for h in histograms.values()) > 0
+
+
+def test_build_workload_overrides_shape():
+    workload = build_workload("apsp", "tiny", overrides={"n": 60, "block": 12})
+    assert isinstance(workload, BlockedFloydWarshall)
+    assert (workload.n, workload.block) == (60, 12)

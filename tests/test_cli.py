@@ -357,3 +357,63 @@ def test_broker_flag_configures_fabric_mode(tmp_path, monkeypatch):
     assert main(["fig11", "--size", "tiny", "--broker", str(broker_dir)]) == 0
     assert seen["broker_root"] == broker_dir
     assert seen["cache_dir"] == broker_dir / "cache"
+
+
+# -- workload suite (dlrm / apsp) ----------------------------------------------------
+
+
+def test_cli_runs_dlrm_serving_tiny(tmp_path, capsys):
+    args = ["dlrm", "--size", "tiny", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "DLRM embedding serving" in out
+    assert "p99 us" in out
+    hits, misses = cache_stats(out)
+    assert hits == 0 and misses > 0
+
+    # warm replay: the whole sweep is served from cache, table unchanged
+    assert main(args) == 0
+    warm_out = capsys.readouterr().out
+    _, warm_misses = cache_stats(warm_out)
+    assert warm_misses == 0
+    strip = lambda text: [l for l in text.splitlines() if "[cache]" not in l]
+    assert strip(warm_out) == strip(out)
+
+
+def test_cli_runs_apsp_tiny(capsys):
+    assert main(["apsp", "--size", "tiny", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "Blocked Floyd-Warshall" in out
+    assert "exact" in out  # the zero-diff column made it to the table
+
+
+def test_workload_suite_experiments_are_traceable_and_submittable():
+    from repro.experiments.cli import submittable_names
+
+    for name in ("dlrm", "apsp"):
+        assert name in experiment_names()
+        assert name in traceable_names()
+        assert name in submittable_names()
+
+
+def test_submit_apsp_grid_over_broker(tmp_path, capsys):
+    """The apsp grid round-trips through the file broker: submit
+    enqueues every spec (params included), a worker drains them, and a
+    resubmit reports the grid complete."""
+    from repro.fabric.broker import WorkBroker
+    from repro.fabric.worker import Worker
+    from tests.test_results_cache import fake_result
+
+    broker_dir = str(tmp_path / "farm")
+    args = ["submit", "apsp", "--broker", broker_dir, "--size", "tiny"]
+    assert main(args + ["--no-wait"]) == 0
+    out = capsys.readouterr().out
+    assert "enqueued" in out
+
+    worker = Worker(WorkBroker(broker_dir), execute=fake_result)
+    drained = worker.run()
+    assert drained > 0
+
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "grid complete" in out

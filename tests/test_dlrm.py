@@ -1,0 +1,215 @@
+"""DLRM embedding workload: golden-result numerics + traffic model.
+
+The core property: every mechanism-shaped dataflow
+(:meth:`DLRMEmbedding.pooled_via`) produces pooled vectors *exactly*
+equal to the direct reference reduction — integer weights make tree vs
+linear reduction order immaterial, so the assertions are equality, not
+tolerance.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.experiments.common import build_workload, run_cpu, run_nmp
+from repro.workloads.dlrm import (
+    BATCH_STAMP,
+    ELEMENT_BYTES,
+    POOLING_MECHANISMS,
+    DLRMEmbedding,
+)
+from repro.workloads.ops import Barrier, Compute, Read, Stamp, Write
+
+
+def small_dlrm(**overrides):
+    kwargs = dict(
+        tables=3,
+        rows=64,
+        dim=4,
+        pooling=5,
+        batches_per_thread=2,
+        batch_size=4,
+        seed=9,
+    )
+    kwargs.update(overrides)
+    return DLRMEmbedding(**kwargs)
+
+
+# -- construction and determinism ----------------------------------------------------
+
+
+def test_rejects_nonsense_shapes():
+    with pytest.raises(WorkloadError):
+        DLRMEmbedding(tables=0)
+    with pytest.raises(WorkloadError):
+        DLRMEmbedding(dim=-1)
+    with pytest.raises(WorkloadError):
+        DLRMEmbedding(zipf=0.0)
+
+
+def test_rows_and_queries_are_deterministic_per_seed():
+    a, b = small_dlrm(), small_dlrm()
+    assert a.row_vector(1, 7) == b.row_vector(1, 7)
+    assert a.query_indices(3) == b.query_indices(3)
+    assert small_dlrm(seed=10).query_indices(3) != a.query_indices(3)
+
+
+def test_zipfian_stream_is_head_heavy():
+    workload = small_dlrm(rows=256, batches_per_thread=8, batch_size=16)
+    counts = {}
+    for batch in range(32):
+        for query in workload.query_indices(batch):
+            for row_ids in query:
+                for row in row_ids:
+                    counts[row] = counts.get(row, 0) + 1
+    head = sum(counts.get(r, 0) for r in range(16))
+    tail = sum(counts.get(r, 0) for r in range(240, 256))
+    assert head > 10 * max(1, tail)  # hot head dominates the cold tail
+
+
+def test_sharding_rotates_hot_head_across_dimms():
+    workload = small_dlrm(tables=8)
+    # row 0 (the Zipf head) of each table lands on a different DIMM
+    heads = {workload.shard_of(table, 0, 8) for table in range(8)}
+    assert len(heads) == 8
+    # and every (table, row) maps inside the DIMM range
+    for table in range(8):
+        for row in range(0, 64, 7):
+            assert 0 <= workload.shard_of(table, row, 4) < 4
+
+
+# -- golden-result property tests: every mechanism equals the reference --------------
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+def test_all_mechanisms_match_reference_exactly(seed):
+    workload = DLRMEmbedding(
+        tables=2 + seed % 3,
+        rows=32 + 8 * seed,
+        dim=2 + seed % 5,
+        pooling=1 + seed % 7,
+        batches_per_thread=2,
+        batch_size=3,
+        seed=seed,
+    )
+    for batch in range(3):
+        reference = workload.reference_pooled(batch)
+        for mechanism in POOLING_MECHANISMS:
+            for num_dimms in (2, 4, 16):
+                assert (
+                    workload.pooled_via(mechanism, batch, num_dimms) == reference
+                ), (seed, mechanism, num_dimms)
+
+
+def test_pooled_via_rejects_unknown_mechanism():
+    with pytest.raises(WorkloadError):
+        small_dlrm().pooled_via("rdma", 0, 4)
+
+
+def test_tree_reduce_handles_odd_and_single_partials():
+    workload = small_dlrm(dim=3)
+    assert workload._tree_reduce([[1, 2, 3]]) == [1, 2, 3]
+    assert workload._tree_reduce([[1, 0, 0], [0, 1, 0], [0, 0, 1]]) == [1, 1, 1]
+
+
+# -- traffic model -------------------------------------------------------------------
+
+
+def test_batch_traffic_matches_query_indices():
+    workload = small_dlrm()
+    rows_at, partials_at = workload.batch_traffic(0, 4)
+    total_rows = sum(rows_at.values())
+    assert total_rows == workload.batch_size * workload.tables * workload.pooling
+    # one partial per (query, table, shard with at least one row)
+    assert sum(partials_at.values()) <= total_rows
+    assert set(partials_at) == set(rows_at)
+
+
+def test_factories_are_reinvocable_and_deterministic():
+    workload = small_dlrm()
+    factories = workload.thread_factories(8, 4)
+    first = [list(f()) for f in factories]
+    second = [list(f()) for f in factories]
+    assert first == second
+
+
+def test_op_stream_bytes_match_traffic_model():
+    workload = small_dlrm()
+    num_threads, num_dimms = 8, 4
+    factories = workload.thread_factories(num_threads, num_dimms)
+    serve_read = 0
+    gather_read = 0
+    stamps = 0
+    for thread_id, factory in enumerate(factories):
+        home = thread_id // 2
+        in_gather = True
+        for op in factory():
+            if isinstance(op, Barrier):
+                in_gather = False
+            elif isinstance(op, Stamp):
+                assert op.key == BATCH_STAMP
+                stamps += 1
+                in_gather = True
+            elif isinstance(op, Read):
+                if in_gather:
+                    assert op.dimm == home  # gather phase reads locally
+                    gather_read += op.nbytes
+                else:
+                    serve_read += op.nbytes
+    expected_rows = 0
+    expected_partials = 0
+    for batch in range(workload.batches_per_thread * num_threads):
+        rows_at, partials_at = workload.batch_traffic(batch, num_dimms)
+        expected_rows += sum(rows_at.values())
+        expected_partials += sum(partials_at.values())
+    vector = workload.dim * ELEMENT_BYTES
+    assert gather_read == expected_rows * vector
+    assert serve_read == expected_partials * vector
+    assert stamps == num_threads * workload.batches_per_thread
+
+
+def test_response_write_lands_on_home_dimm():
+    workload = small_dlrm()
+    factories = workload.thread_factories(8, 4)
+    for thread_id, factory in enumerate(factories):
+        writes = [op for op in factory() if isinstance(op, Write)]
+        assert len(writes) == workload.batches_per_thread
+        expected = (
+            workload.batch_size * workload.tables * workload.dim * ELEMENT_BYTES
+        )
+        for op in writes:
+            assert op.dimm == thread_id // 2
+            assert op.nbytes == expected
+
+
+# -- end-to-end runs -----------------------------------------------------------------
+
+
+def test_nmp_run_records_batch_latency_histograms():
+    config = SystemConfig.named("4D-2C")
+    workload = build_workload("dlrm", "tiny")
+    result = run_nmp(config, workload, mechanism="dimm_link")
+    histograms = result.stats.histograms_suffix(BATCH_STAMP)
+    assert histograms  # per-core scopes recorded batch latencies
+    total = sum(h.count for h in histograms.values())
+    threads = config.num_dimms * config.nmp.cores_per_dimm
+    assert total == threads * workload.batches_per_thread
+    assert all(h.min > 0 for h in histograms.values())
+
+
+def test_cpu_run_records_batch_latency_histograms():
+    config = SystemConfig.named("4D-2C")
+    workload = build_workload("dlrm", "tiny")
+    result = run_cpu(config, workload)
+    total = sum(
+        h.count for h in result.stats.histograms_suffix(BATCH_STAMP).values()
+    )
+    threads = config.num_dimms * config.nmp.cores_per_dimm
+    assert total == threads * workload.batches_per_thread
+
+
+def test_build_workload_overrides_shape():
+    workload = build_workload("dlrm", "tiny", overrides={"batch_size": 6})
+    assert isinstance(workload, DLRMEmbedding)
+    assert workload.batch_size == 6
+    assert workload.tables == 4  # rest of the tiny preset intact

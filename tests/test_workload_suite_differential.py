@@ -1,0 +1,275 @@
+"""Differential harness for the workload suite (dlrm + apsp).
+
+Three layers of byte-level pinning:
+
+* **Loop differential** — every new spec kind produces a bit-identical
+  :class:`RunResult` under the epoch fast-forward loop and the legacy
+  one-pop-per-event loop, including the trace streams.
+* **Scheduler differential** — a mixed dlrm+apsp grid run with
+  ``jobs=2`` serializes byte-identically to ``jobs=1``.
+* **Cache-key goldens** — the new spec kinds' SHA-256 keys are pinned,
+  and the ``params`` field is proven hash-compatible: an empty params
+  leaves every pre-existing spec's payload (and key) untouched.
+
+Plus the satellite regressions: ``parse_params`` parsing/canonicalization
+and the stat suffix-matching that keeps ``dlrm.*`` / ``apsp.*`` from
+aliasing other namespaces.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import (
+    RunSpec,
+    SweepRunner,
+    execute_spec,
+    parse_params,
+)
+from repro.experiments.trace_run import run_traced
+from repro.sim import default_loop_legacy, set_default_loop
+from repro.sim.stats import StatRegistry
+
+# -- shared fixtures -----------------------------------------------------------------
+
+#: small-but-real specs covering every mechanism label of both suites.
+DLRM_SPECS = [
+    RunSpec(
+        config="4D-2C",
+        workload="dlrm",
+        size="tiny",
+        kind=kind,
+        mechanism=mechanism,
+        params="batch_size=4",
+    )
+    for kind, mechanism in (
+        ("cpu", "cpu"),
+        ("nmp", "mcn"),
+        ("nmp", "dimm_link"),
+        ("optimized", "dimm_link"),
+    )
+]
+APSP_SPECS = [
+    RunSpec(
+        config="4D-2C",
+        workload="apsp",
+        size="tiny",
+        kind=kind,
+        mechanism=mechanism,
+        params="block=12,n=24",
+    )
+    for kind, mechanism in (
+        ("cpu", "cpu"),
+        ("nmp", "abc"),
+        ("nmp", "dimm_link"),
+        ("optimized", "dimm_link"),
+    )
+]
+
+
+def result_bytes(spec):
+    return json.dumps(execute_spec(spec).to_json_dict(), sort_keys=True)
+
+
+def serialize(results):
+    return json.dumps([r.to_json_dict() for r in results], sort_keys=True)
+
+
+# -- epoch vs legacy loop ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec", DLRM_SPECS + APSP_SPECS, ids=lambda s: f"{s.workload}-{s.kind}-{s.mechanism}"
+)
+def test_epoch_and_legacy_loops_agree_byte_for_byte(spec):
+    epoch = result_bytes(spec)
+    set_default_loop(default_loop_legacy)
+    try:
+        legacy = result_bytes(spec)
+    finally:
+        set_default_loop(None)
+    assert epoch == legacy
+
+
+@pytest.mark.parametrize("experiment", ["dlrm", "apsp"])
+def test_trace_streams_identical_under_both_loops(experiment):
+    epoch = run_traced(experiment, size="tiny")
+    set_default_loop(default_loop_legacy)
+    try:
+        legacy = run_traced(experiment, size="tiny")
+    finally:
+        set_default_loop(None)
+    assert epoch["recorder"].spans == legacy["recorder"].spans
+    assert epoch["recorder"].instants == legacy["recorder"].instants
+    assert (
+        epoch["result"].to_json_dict() == legacy["result"].to_json_dict()
+    )
+
+
+# -- parallel scheduler --------------------------------------------------------------
+
+
+def test_mixed_workload_grid_is_parallelism_invariant():
+    grid = [DLRM_SPECS[0], APSP_SPECS[2], DLRM_SPECS[2], APSP_SPECS[0]]
+    serial = SweepRunner(jobs=1).run(grid)
+    parallel = SweepRunner(jobs=2).run(grid)
+    assert serialize(parallel) == serialize(serial)
+    assert [r.workload for r in parallel] == [s.workload for s in grid]
+
+
+# -- golden cache keys ---------------------------------------------------------------
+
+#: pinned content hashes for the new spec kinds.  These only change when
+#: the spec payload or CODE_VERSION changes — both deliberate, reviewed
+#: events.  If one of these fails, every previously cached dlrm/apsp
+#: result is silently invalid: bump CODE_VERSION instead of repinning
+#: unless the payload change was intentional.
+GOLDEN_KEYS = {
+    "dlrm_cpu": (
+        RunSpec(
+            config="4D-2C", workload="dlrm", size="tiny",
+            kind="cpu", mechanism="cpu", params="batch_size=4",
+        ),
+        "e0d49e25758ead20ce1cfe9d9d7e984732612bf188ce22f144be5c757d5c53b7",
+    ),
+    "dlrm_dimm_link": (
+        RunSpec(
+            config="4D-2C", workload="dlrm", size="tiny",
+            kind="nmp", mechanism="dimm_link", params="batch_size=4",
+        ),
+        "2c50bd49bfe7305f10708717950396736886d072bffd7cb552954dcb81c6ffeb",
+    ),
+    "dlrm_opt": (
+        RunSpec(
+            config="4D-2C", workload="dlrm", size="tiny",
+            kind="optimized", mechanism="dimm_link", params="batch_size=4",
+        ),
+        "796bf6b3c567a9aa22b4c9df01756e8e600bd84009dfbeb2735d966b08b8b97f",
+    ),
+    "apsp_mcn": (
+        RunSpec(
+            config="4D-2C", workload="apsp", size="tiny",
+            kind="nmp", mechanism="mcn", params="block=12,n=48",
+        ),
+        "0f424ad7f1432ac9f3b86338420514dc536b9c6ad202b845a19714d8e5527d0e",
+    ),
+    "apsp_dimm_link": (
+        RunSpec(
+            config="4D-2C", workload="apsp", size="tiny",
+            kind="nmp", mechanism="dimm_link", params="block=12,n=48",
+        ),
+        "6379cb6e1d47986eb4bc99312724d14fbb6e71b93451a8b432c3dba2ea8ae40b",
+    ),
+    "apsp_no_params": (
+        RunSpec(
+            config="4D-2C", workload="apsp", size="tiny",
+            kind="nmp", mechanism="dimm_link",
+        ),
+        "00f9e03cc9185c54b3185e8a18be88da43517520c186700eb903426ffea65560",
+    ),
+}
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_KEYS))
+def test_golden_cache_keys_for_new_spec_kinds(label):
+    spec, expected = GOLDEN_KEYS[label]
+    assert spec.cache_key() == expected
+
+
+# -- params field: hash compatibility ------------------------------------------------
+
+
+def test_empty_params_is_absent_from_the_hashed_payload():
+    spec = RunSpec(config="4D-2C", workload="pagerank", size="tiny")
+    assert "params" not in spec.to_json_dict()
+    # non-empty params does appear (and in canonical form)
+    sized = RunSpec(config="4D-2C", workload="apsp", params="n=24,block=12")
+    assert sized.to_json_dict()["params"] == "block=12,n=24"
+
+
+def test_legacy_spec_dicts_without_params_still_reconstruct():
+    spec = RunSpec(config="4D-2C", workload="kmeans", size="tiny")
+    legacy_payload = spec.to_json_dict()
+    assert "params" not in legacy_payload  # what pre-params records hold
+    rebuilt = RunSpec(**legacy_payload)
+    assert rebuilt == spec
+    assert rebuilt.cache_key() == spec.cache_key()
+
+
+def test_params_canonicalization_makes_equal_overrides_hash_equal():
+    a = RunSpec(config="4D-2C", workload="apsp", params="n=60, block=12")
+    b = RunSpec(config="4D-2C", workload="apsp", params="block=12,n=60")
+    assert a.params == b.params == "block=12,n=60"
+    assert a.cache_key() == b.cache_key()
+
+
+# -- parse_params --------------------------------------------------------------------
+
+
+def test_parse_params_coerces_int_float_string():
+    assert parse_params("n=48,density=0.25,order=col_first") == {
+        "n": 48,
+        "density": 0.25,
+        "order": "col_first",
+    }
+
+
+def test_parse_params_rejects_malformed_and_duplicate_pairs():
+    with pytest.raises(ConfigError):
+        parse_params("n48")  # no separator
+    with pytest.raises(ConfigError):
+        parse_params("=48")  # empty key
+    with pytest.raises(ConfigError):
+        parse_params("n=48,n=60")  # duplicate
+
+
+def test_spec_rejects_bad_params_at_construction():
+    with pytest.raises(ConfigError):
+        RunSpec(config="4D-2C", workload="apsp", params="n:48")
+
+
+def test_unknown_override_key_fails_at_workload_build():
+    spec = RunSpec(
+        config="4D-2C", workload="apsp", size="tiny", params="edges=9"
+    )
+    with pytest.raises(ConfigError):
+        execute_spec(spec)
+
+
+def test_params_on_non_parameterized_workloads_fail_loudly():
+    for workload in ("pagerank", "uniform_random"):
+        spec = RunSpec(
+            config="4D-2C", workload=workload, size="tiny", params="n=48"
+        )
+        with pytest.raises(ConfigError):
+            execute_spec(spec)
+
+
+# -- stat suffix matching: the dlrm.*/apsp.* aliasing regression ---------------------
+
+
+def test_sum_suffix_never_aliases_across_namespaces():
+    stats = StatRegistry()
+    stats.add("dimm0.apsp.bytes", 100.0)
+    stats.add("dimm1.apsp.bytes", 10.0)
+    stats.add("dimm0.sp.bytes", 1.0)
+    # whole-component matching: "sp.bytes" must not absorb "apsp.bytes"
+    assert stats.sum_suffix("sp.bytes") == 1.0
+    assert stats.sum_suffix("apsp.bytes") == 110.0
+    # exact key (no scope prefix) still matches itself
+    stats.add("apsp.bytes", 1000.0)
+    assert stats.sum_suffix("apsp.bytes") == 1110.0
+
+
+def test_histograms_suffix_uses_whole_component_matching():
+    stats = StatRegistry()
+    stats.histogram("dimm0.core0.dlrm.batch_ps").record(5.0)
+    stats.histogram("dimm1.core0.dlrm.batch_ps").record(7.0)
+    stats.histogram("dimm0.core0.rm.batch_ps").record(11.0)
+    matched = stats.histograms_suffix("dlrm.batch_ps")
+    assert sorted(matched) == [
+        "dimm0.core0.dlrm.batch_ps",
+        "dimm1.core0.dlrm.batch_ps",
+    ]
+    assert sum(h.count for h in matched.values()) == 2
