@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Service smoke test: a socket-fronted sweep farm survives real chaos.
+
+Drives the sweep service (:mod:`repro.service`) and the socket broker
+(:mod:`repro.fabric.netbroker`) end to end with real *processes*:
+
+* one ``repro.service.server`` process owns the broker directory, armed
+  (via ``DIMMLINK_FABRIC_FAULTS=net.server.exit_mid_reply:exit``) to
+  ``os._exit`` after journaling its first outcome but *before* the
+  reply leaves the wire — exactly-once's worst ambiguity, injected
+  mid-stream while a subscriber is watching progress;
+* a real fig16-style grid is submitted over the socket;
+* two shared-nothing netbroker workers drain it; one is SIGKILLed while
+  it provably holds a lease;
+* the parent supervises: restarts the crashed server (same port,
+  unarmed), replaces the killed worker, and keeps a progress
+  subscription streaming across the crash.
+
+Then asserts the service contract:
+
+* the sweep **completes exactly once** — every spec lands ``done``,
+  none dead, no lease left behind;
+* the progress stream **resumes across the server crash** (the client
+  reconnects and reconciles via a ``reset`` snapshot) and observes the
+  grid drain;
+* the shared cache is **byte-identical** to a serial in-process run of
+  the same grid;
+* a warm rerun replays from the cache (>= 90% hit rate) — zero lost or
+  repeated work.
+
+Run:  PYTHONPATH=src python examples/service_smoke.py [broker-dir]
+
+Exits nonzero (via assert) if any guarantee is violated; used as the CI
+service-smoke step.  (Internally re-execs itself with ``--worker`` to
+spawn the netbroker worker processes.)
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.experiments import fig16_bandwidth
+from repro.experiments.runner import SweepRunner, execute_spec
+from repro.fabric.broker import WorkBroker
+from repro.fabric.faultpoints import EXIT_STATUS
+from repro.fabric.netbroker import NetBroker
+from repro.fabric.worker import Worker
+from repro.results_cache import ResultsCache
+from repro.service.client import ServiceClient, ServiceUnavailable
+
+#: 2 CPU references + a 2x3 bandwidth sweep = 8 real tiny specs.
+SPECS = fig16_bandwidth.specs(
+    size="tiny",
+    bandwidths=(8.0, 25.6, 51.2),
+    config_names=("4D-2C",),
+    workload_names=("pagerank", "spmv"),
+)
+
+#: long enough that a live worker's heartbeat (TTL/3) never lapses,
+#: short enough that reclaiming the killed worker costs seconds.
+LEASE_TTL_S = 3.0
+
+SRC_ROOT = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _env(**extra: str) -> dict:
+    path = os.pathsep.join(
+        [SRC_ROOT]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+    )
+    return dict(os.environ, PYTHONPATH=path, **extra)
+
+
+def worker_main(address: str) -> None:
+    """``--worker`` mode: one shared-nothing netbroker worker.
+
+    Retries through :class:`ServiceUnavailable` windows (the server is
+    expected to crash and come back) and exits 0 once the farm drains.
+    """
+    broker = NetBroker(address, retries=20, backoff_s=0.05, backoff_cap_s=0.25)
+
+    def steady_execute(spec):
+        # tiny specs run in ~0.1s; hold the lease a beat longer so the
+        # parent can provably observe (and SIGKILL) a mid-spec worker
+        result = execute_spec(spec)
+        time.sleep(0.25)
+        return result
+
+    deadline = time.monotonic() + 600.0
+    while time.monotonic() < deadline:
+        worker = Worker(broker, execute=steady_execute, poll_interval_s=0.1)
+        try:
+            worker.run()
+            print(f"[service-worker] {worker}", flush=True)
+            return
+        except ServiceUnavailable:
+            print("[service-worker] endpoint down; retrying", flush=True)
+            time.sleep(0.2)
+    raise AssertionError("worker never saw the farm drain")
+
+
+def spawn_worker(address: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--worker", address],
+        env=_env(),
+    )
+
+
+def spawn_server(root: str, port: int, armed: bool) -> subprocess.Popen:
+    env = _env()
+    env.pop("DIMMLINK_FABRIC_FAULTS", None)
+    if armed:
+        env["DIMMLINK_FABRIC_FAULTS"] = "net.server.exit_mid_reply:exit"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service", root,
+         "--port", str(port), "--lease-ttl", str(LEASE_TTL_S)],
+        env=env, stdout=subprocess.PIPE, text=True,
+    )
+
+
+def read_endpoint(server: subprocess.Popen) -> str:
+    line = server.stdout.readline()
+    match = re.search(r"tcp://127\.0\.0\.1:(\d+)", line)
+    assert match, f"no endpoint in server banner: {line!r}"
+    # keep draining the pipe so later server prints can never block it
+    threading.Thread(
+        target=lambda: [None for _ in server.stdout], daemon=True
+    ).start()
+    return f"tcp://127.0.0.1:{match.group(1)}"
+
+
+def submit_with_retry(address: str, specs) -> list:
+    client = ServiceClient(address, timeout_s=10.0, retries=10,
+                           backoff_s=0.05, backoff_cap_s=0.5)
+    report = client.submit(specs)["report"]
+    client.close()
+    assert report["enqueued"] == len(specs), report
+    return list(report["keys"])
+
+
+def find_healthy_lease(broker: WorkBroker, pid: int):
+    """A key ``pid`` has journaled a live lease on, or None."""
+    needle = f"-{pid}-"
+    for key, record in broker.records().items():
+        if record.state == "leased" and needle in record.worker:
+            return key
+    return None
+
+
+def run_service_smoke(root: str) -> None:
+    keys = [spec.cache_key() for spec in SPECS]
+    server = spawn_server(root, port=0, armed=True)
+    address = read_endpoint(server)
+    print(f"[service] armed server on {address} (broker: {root})")
+    submit_with_retry(address, SPECS)
+    print(f"[service] submitted {len(SPECS)} spec(s) over the socket")
+
+    # the mid-stream subscriber: watches progress across the crash
+    events: list = []
+    watcher_final: dict = {}
+
+    def watch() -> None:
+        client = ServiceClient(address, timeout_s=10.0, backoff_s=0.1,
+                               backoff_cap_s=0.5)
+        watcher_final.update(
+            client.watch(keys, on_event=events.append,
+                         reconnect_attempts=40)
+        )
+        client.close()
+
+    watcher = threading.Thread(target=watch, daemon=True)
+    watcher.start()
+
+    observer = WorkBroker(root)  # read-only view of the shared state
+    port = int(address.rsplit(":", 1)[1])
+    victim = spawn_worker(address)
+    survivor = spawn_worker(address)
+    procs = [victim, survivor]
+    victim_killed = False
+    server_restarted = False
+    try:
+        deadline = time.monotonic() + 600.0
+        while time.monotonic() < deadline:
+            status = server.poll()
+            if status is not None and not server_restarted:
+                # the armed fault point fired: journaled outcome, reply
+                # never sent.  Restart the owner, unarmed, same port.
+                assert status == EXIT_STATUS, f"server exited {status}"
+                print("[service] server os._exit mid-reply; restarting")
+                server = spawn_server(root, port=port, armed=False)
+                read_endpoint(server)
+                server_restarted = True
+            if not victim_killed:
+                held = find_healthy_lease(observer, victim.pid)
+                if held is not None:
+                    os.kill(victim.pid, signal.SIGKILL)
+                    victim.wait(timeout=60)
+                    print(f"[service] SIGKILLed worker {victim.pid} "
+                          f"(held {held[:12]}...)")
+                    victim_killed = True
+                    procs.append(spawn_worker(address))
+            live = [p for p in procs if p.poll() is None]
+            if not live and server_restarted and victim_killed:
+                break
+            time.sleep(0.02)
+        assert server_restarted, "armed server never tripped its fault"
+        assert victim_killed, "victim worker never held an observable lease"
+        for proc in procs:
+            code = proc.wait(timeout=600)
+            if proc is victim:
+                assert code == -signal.SIGKILL, code
+            else:
+                assert code == 0, f"worker exited {code}"
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        if server.poll() is None:
+            server.terminate()
+            server.wait(timeout=30)
+
+    # exactly once: every spec done, none dead, no lease left behind
+    counts = observer.counts()
+    assert counts["done"] == len(SPECS) and counts["dead"] == 0, counts
+    time.sleep(LEASE_TTL_S + 0.5)
+    assert observer.leases.live_count() == 0, "orphaned lease"
+    print(f"[service] drained exactly once: {counts}")
+
+    # the stream survived the crash and observed the drain
+    watcher.join(timeout=120)
+    assert not watcher.is_alive(), "progress stream never finished"
+    assert watcher_final.get("done") == len(SPECS), watcher_final
+    kinds = {event.get("type") for event in events}
+    assert "drained" in kinds, kinds
+    print(f"[service] stream observed {len(events)} event(s) across "
+          f"the crash ({', '.join(sorted(kinds))})")
+
+    # byte-identical to a serial in-process run of the same grid
+    with tempfile.TemporaryDirectory(prefix="dl-serial-") as serial_root:
+        serial = SweepRunner(jobs=1, cache=ResultsCache(serial_root))
+        serial.run(SPECS)
+        for spec in SPECS:
+            key = spec.cache_key()
+            farm_bytes = observer.cache.path_for(key).read_bytes()
+            assert farm_bytes == serial.cache.path_for(key).read_bytes(), (
+                f"result for {key[:12]} diverged from the serial run"
+            )
+    print("[service] results byte-identical to the serial reference")
+
+    # a warm rerun replays from the cache: zero lost work
+    warm = SweepRunner(broker=WorkBroker(root))
+    results = warm.run(SPECS)
+    assert all(result is not None for result in results)
+    hits, misses = warm.stats["cache.hits"], warm.stats["cache.misses"]
+    rate = hits / (hits + misses) if hits + misses else 1.0
+    print(f"[service] warm run: {hits} hits / {misses} misses ({rate:.0%})")
+    assert rate >= 0.90, f"warm hit rate {rate:.0%} < 90%"
+    print("[service] ok: farm survived the SIGKILL and the mid-reply "
+          "server crash; results exactly once")
+
+
+def main() -> None:
+    if len(sys.argv) > 2 and sys.argv[1] == "--worker":
+        worker_main(sys.argv[2])
+    elif len(sys.argv) > 1:
+        run_service_smoke(sys.argv[1])
+    else:
+        with tempfile.TemporaryDirectory(prefix="dl-service-") as root:
+            run_service_smoke(root)
+
+
+if __name__ == "__main__":
+    main()

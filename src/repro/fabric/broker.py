@@ -314,6 +314,59 @@ class WorkBroker:
         self.leases.release(key, worker)
         return True
 
+    def relinquish(self, key: str, worker: str, reason: str = "worker drained") -> bool:
+        """Hand a leased spec back *gracefully* (worker drain, not death).
+
+        Journals the spec straight back to ``pending`` with no backoff
+        stamp and the attempt **uncharged** — a deliberately drained
+        worker is not a failing spec, so the retry budget is untouched
+        and any other worker can claim it immediately instead of
+        waiting out the lease TTL.  The journal transition lands before
+        the lease release (crash in between = an orphaned lease that
+        merely expires).
+        """
+        record = self.journal.read(key)
+        if record is None:
+            return False
+        if record.state != "leased" or record.worker != worker:
+            # completed/reclaimed already: nothing to hand back
+            self.leases.release(key, worker)
+            return False
+        self.journal.append(
+            key,
+            "pending",
+            attempts=max(0, record.attempts - 1),
+            not_before=0.0,
+            worker="",
+            error=reason,
+        )
+        self.leases.release(key, worker)
+        return True
+
+    def expire(self, key: str, reason: str) -> bool:
+        """Quarantine a *pending* spec whose request deadline passed.
+
+        Used by the service layer: a spec nobody has started that can no
+        longer finish in time goes to ``dead`` (and the dead-letter
+        store) instead of burning a worker on a result the client will
+        discard.  Leased specs are left alone — their execution is
+        already paid for and publishing the result is harmless.
+        """
+        record = self.journal.read(key)
+        if record is None or record.state != "pending":
+            return False
+        janitor = "<deadline>"
+        if not self.leases.try_claim(key, janitor):
+            return False  # a worker is claiming it right now: let it run
+        try:
+            record = self.journal.read(key)
+            if record is None or record.state != "pending":
+                return False
+            self._quarantine(record, reason)
+            return True
+        finally:
+            self.leases.release(key, janitor)
+
     def _quarantine(
         self, record: SpecRecord, error: str, diagnosis: str = ""
     ) -> None:

@@ -7,10 +7,13 @@ filesystem — no locks, no sockets, no coordinator:
 
 * **Claim** = exclusive create (:func:`repro.fsio.create_exclusive_text`).
   Two workers racing on the same spec get exactly one winner.
-* **Steal** (reclaiming an *expired* lease) = atomic rename of the stale
-  file to a per-worker name.  Only one renamer succeeds — the other
-  loses the source file mid-rename and backs off — and the winner then
-  re-claims via exclusive create.
+* **Steal** (reclaiming an *expired* lease) = exclusive create of a
+  steal-lock file, an expiry re-check under the lock, then atomic
+  rename of the stale file to a per-worker name.  The lock serializes
+  thieves so a slow one can never rename away a lease that was already
+  stolen and *re-claimed live* by a faster racer; the winner then
+  re-claims via exclusive create.  A lock orphaned by a dead thief goes
+  stale after one TTL and is swept by the next.
 
 **Heartbeats** renew the lease by atomically replacing the file with a
 later expiry.  A worker that dies (crash, SIGKILL, partition) simply
@@ -61,13 +64,15 @@ class LeaseManager:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.lease"
 
-    def _payload(self, key: str, worker: str, now: float) -> str:
+    def _payload(
+        self, key: str, worker: str, now: float, ttl_s: Optional[float] = None
+    ) -> str:
         return json.dumps(
             {
                 "key": key,
                 "worker": worker,
                 "acquired_at": now,
-                "expires_at": now + self.ttl_s,
+                "expires_at": now + (ttl_s if ttl_s is not None else self.ttl_s),
             },
             sort_keys=True,
         )
@@ -106,9 +111,10 @@ class LeaseManager:
     def try_claim(self, key: str, worker: str) -> bool:
         """Claim ``key`` for ``worker``; ``False`` if someone holds it.
 
-        An expired lease is stolen first (atomic rename — one winner),
-        then re-claimed with exclusive create.  Losing any race returns
-        ``False``; the caller just moves on to other work.
+        An expired lease is stolen first (serialized through a steal
+        lock — one thief at a time), then re-claimed with exclusive
+        create.  Losing any race returns ``False``; the caller just
+        moves on to other work.
         """
         path = self.path_for(key)
         now = time.time()
@@ -118,17 +124,8 @@ class LeaseManager:
                 pass  # vanished: fall through to the exclusive create
             elif now <= held[1]:
                 return False  # live lease
-            else:
-                stale = path.with_name(path.name + f".stale-{worker}")
-                try:
-                    os.rename(path, stale)  # atomic: one thief wins
-                except OSError:
-                    return False  # another worker stole it first
-                faultpoints.trip("lease.steal.after_rename")
-                try:
-                    os.unlink(stale)
-                except OSError:
-                    pass
+            elif not self._steal(path, key, worker, now):
+                return False
         claimed = create_exclusive_text(
             path, self._payload(key, worker, now), durable=self.durable
         )
@@ -136,13 +133,74 @@ class LeaseManager:
             faultpoints.trip("lease.claim.after_create")
         return claimed
 
-    def renew(self, key: str, worker: str) -> bool:
+    def _steal(self, path: Path, key: str, worker: str, now: float) -> bool:
+        """Remove one expired lease; ``True`` if ``worker`` may re-claim.
+
+        The rename that removes the stale file is *not* conditional on
+        its content, so it must never race another thief's whole
+        steal-and-reclaim cycle: a slow thief that observed the expired
+        lease, lost the race, and renamed afterwards would yank the new
+        winner's **live** lease.  An exclusive-create lock file
+        serializes thieves, and the expiry check is repeated under the
+        lock — whatever is at ``path`` by then cannot be replaced by a
+        live lease before the rename (creates are excluded while the
+        file exists, renames by the lock).  A thief that dies holding
+        the lock leaves it behind; like any lease it goes stale after
+        one TTL and is swept by the next thief, so the key cannot wedge.
+        """
+        lock = path.with_name(path.name + ".steal")
+        if not create_exclusive_text(lock, worker, durable=False):
+            try:
+                if now - lock.stat().st_mtime > self.ttl_s:
+                    os.unlink(lock)  # orphaned by a dead thief: sweep
+            except OSError:
+                pass
+            return False  # another thief is mid-steal; back off
+        held = self.holder(key)
+        if held is None or now <= held[1]:
+            # stolen-and-reclaimed while we waited: nothing to steal
+            # (vanished means the exclusive create may still be tried)
+            self._drop(lock)
+            return held is None
+        stale = path.with_name(path.name + f".stale-{worker}")
+        try:
+            os.rename(path, stale)
+        except OSError:
+            self._drop(lock)
+            return False  # released under us (ENOENT): let claim retry
+        faultpoints.trip("lease.steal.after_rename")
+        try:
+            os.unlink(stale)
+        except OSError:
+            pass
+        self._drop(lock)
+        return True
+
+    @staticmethod
+    def _drop(lock: Path) -> None:
+        """Best-effort lock removal (a TTL sweep may have beaten us)."""
+        try:
+            os.unlink(lock)
+        except OSError:
+            pass
+
+    def renew(
+        self, key: str, worker: str, ttl_s: Optional[float] = None
+    ) -> bool:
         """Heartbeat: push the expiry out by one TTL.
 
         Returns ``False`` — without touching the file — when ``worker``
         no longer holds the lease (it expired and was stolen, or was
         released); the worker's result is then published anyway and
         deduplicated by the idempotent cache.
+
+        ``ttl_s`` overrides the manager's TTL for this renewal only —
+        the service layer uses it to *shorten* a lease so it never
+        outlives a client's per-request deadline.
+
+        Raises ``OSError`` when the renewal write itself fails (ENOSPC,
+        EACCES, a yanked mount): the caller must treat that as lease
+        loss in progress, not silently assume the heartbeat landed.
         """
         held = self.holder(key)
         if held is None or held[0] != worker:
@@ -150,7 +208,7 @@ class LeaseManager:
         faultpoints.trip("lease.renew.before_write")
         atomic_write_text(
             self.path_for(key),
-            self._payload(key, worker, time.time()),
+            self._payload(key, worker, time.time(), ttl_s=ttl_s),
             durable=self.durable,
         )
         return True

@@ -1,0 +1,245 @@
+"""Socket-backed work broker for shared-nothing farms.
+
+A :class:`NetBroker` presents the same surface a
+:class:`~repro.fabric.worker.Worker` drives on a file broker — ``claim``
+/ ``complete`` / ``fail`` / ``relinquish``, a ``leases`` proxy for
+heartbeats, a ``cache`` proxy for idempotent result publication — but
+every operation is an RPC to one ``dimmlink-repro serve`` process, the
+single owner of the journal/lease directory.  Workers therefore need
+**no shared filesystem**: the spec payload travels out over the claim
+reply and the result travels back over ``cache_put``.
+
+Failure discipline:
+
+* Each RPC inherits the client's jittered-backoff retry budget; every
+  op is idempotent server-side, so ambiguous failures (reply lost, torn
+  frame) are simply re-sent.
+* The heartbeat path gets a **dedicated connection** (the worker renews
+  from a daemon thread while the main thread simulates; one socket must
+  never interleave two threads' frames).
+* When the endpoint stays dead through the whole retry budget and a
+  ``fallback_root`` was configured (the farm *does* share a
+  filesystem), the netbroker **degrades permanently to a direct file
+  broker** on that directory — mid-sweep, without losing the claim it
+  holds, because the socket server was only ever a proxy for the same
+  journal/lease state the fallback opens directly.  Without a fallback,
+  :class:`~repro.service.client.ServiceUnavailable` surfaces to the
+  worker loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Sequence, TypeVar
+
+from repro.fabric.broker import BrokerConfig, SubmitReport, WorkBroker
+from repro.fabric.journal import SpecRecord
+from repro.nmp.results import RunResult
+from repro.service.client import ServiceClient, ServiceUnavailable
+
+T = TypeVar("T")
+
+
+class _NetLeases:
+    """Heartbeat proxy: ``renew`` over a dedicated connection."""
+
+    def __init__(self, netbroker: "NetBroker") -> None:
+        self._netbroker = netbroker
+
+    def renew(self, key: str, worker: str) -> bool:
+        return self._netbroker._invoke(
+            lambda client: bool(
+                client.call("renew", key=key, worker=worker)["renewed"]
+            ),
+            lambda broker: broker.leases.renew(key, worker),
+            client_attr="_lease_client",
+        )
+
+
+class _NetCache:
+    """Result store proxy: content-keyed get/put over the socket."""
+
+    def __init__(self, netbroker: "NetBroker") -> None:
+        self._netbroker = netbroker
+
+    def get(self, key: str) -> Optional[RunResult]:
+        def decode(client: ServiceClient) -> Optional[RunResult]:
+            payload = client.call("cache_get", key=key)["result"]
+            if payload is None:
+                return None
+            return RunResult.from_json_dict(payload)  # type: ignore[arg-type]
+
+        return self._netbroker._invoke(
+            decode, lambda broker: broker.cache.get(key)
+        )
+
+    def put(
+        self,
+        key: str,
+        result: RunResult,
+        spec: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._netbroker._invoke(
+            lambda client: client.call(
+                "cache_put", key=key, result=result.to_json_dict(), spec=spec
+            ),
+            lambda broker: broker.cache.put(key, result, spec=spec),
+        )
+
+
+class NetBroker:
+    """Worker-side broker over ``tcp://host:port``, with degradation."""
+
+    def __init__(
+        self,
+        address: str,
+        fallback_root: Optional[str] = None,
+        timeout_s: float = 5.0,
+        retries: int = 8,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.address = address
+        self.fallback_root = fallback_root
+        self.client = ServiceClient(
+            address, timeout_s=timeout_s, retries=retries,
+            backoff_s=backoff_s, backoff_cap_s=backoff_cap_s, seed=seed,
+        )
+        self._lease_client = ServiceClient(
+            address, timeout_s=timeout_s, retries=max(1, retries // 2),
+            backoff_s=backoff_s, backoff_cap_s=backoff_cap_s, seed=seed,
+        )
+        self._fallback: Optional[WorkBroker] = None
+        self._fallback_lock = threading.Lock()
+        #: did this broker degrade to direct file mode? (observability)
+        self.degraded = False
+        self.config = self._fetch_config()
+
+    # -- degradation funnel ----------------------------------------------------------
+
+    def _fetch_config(self) -> BrokerConfig:
+        """The farm policy, from the server — or the fallback, or defaults."""
+        try:
+            hello = self.client.hello()
+        except ServiceUnavailable:
+            broker = self._degrade()
+            if broker is not None:
+                return broker.config
+            return BrokerConfig()  # endpoint may come up later; use defaults
+        payload = hello.get("config")
+        if isinstance(payload, dict):
+            known = {f for f in BrokerConfig.__dataclass_fields__}
+            return BrokerConfig(
+                **{k: v for k, v in payload.items() if k in known}
+            )
+        return BrokerConfig()
+
+    def _degrade(self) -> Optional[WorkBroker]:
+        """Flip (once) to a direct file broker on the fallback root."""
+        if self.fallback_root is None:
+            return None
+        with self._fallback_lock:
+            if self._fallback is None:
+                # during __init__ the farm policy is not fetched yet;
+                # config=None lets the root's own broker.json win anyway
+                self._fallback = WorkBroker(
+                    self.fallback_root, config=getattr(self, "config", None)
+                )
+                self.degraded = True
+        return self._fallback
+
+    def _invoke(
+        self,
+        net_op: Callable[[ServiceClient], T],
+        file_op: Callable[[WorkBroker], T],
+        client_attr: str = "client",
+    ) -> T:
+        """Route one operation: socket first, file broker after degrade."""
+        broker = self._fallback
+        if broker is not None:
+            return file_op(broker)
+        try:
+            return net_op(getattr(self, client_attr))
+        except ServiceUnavailable:
+            broker = self._degrade()
+            if broker is None:
+                raise
+            return file_op(broker)
+
+    # -- the WorkBroker surface ------------------------------------------------------
+
+    @property
+    def cache(self) -> _NetCache:
+        broker = self._fallback
+        if broker is not None:
+            return broker.cache  # type: ignore[return-value]
+        return _NetCache(self)
+
+    @property
+    def leases(self) -> _NetLeases:
+        return _NetLeases(self)
+
+    def submit(self, specs: Sequence, retry_dead: bool = False) -> SubmitReport:
+        def decode(client: ServiceClient) -> SubmitReport:
+            reply = client.submit(specs, retry_dead=retry_dead)
+            payload = dict(reply["report"])  # type: ignore[arg-type]
+            return SubmitReport(**payload)
+
+        return self._invoke(
+            decode, lambda broker: broker.submit(specs, retry_dead=retry_dead)
+        )
+
+    def claim(self, worker: str) -> Optional[SpecRecord]:
+        def decode(client: ServiceClient) -> Optional[SpecRecord]:
+            payload = client.call("claim", worker=worker)["record"]
+            if payload is None:
+                return None
+            return SpecRecord(**payload)  # type: ignore[arg-type]
+
+        return self._invoke(decode, lambda broker: broker.claim(worker))
+
+    def complete(self, key: str, worker: str) -> bool:
+        return self._invoke(
+            lambda client: bool(
+                client.call("complete", key=key, worker=worker)["completed"]
+            ),
+            lambda broker: broker.complete(key, worker),
+        )
+
+    def fail(self, key: str, worker: str, error: str, diagnosis: str = "") -> bool:
+        return self._invoke(
+            lambda client: bool(client.call(
+                "fail", key=key, worker=worker, error=error,
+                diagnosis=diagnosis,
+            )["failed"]),
+            lambda broker: broker.fail(key, worker, error, diagnosis),
+        )
+
+    def relinquish(self, key: str, worker: str, reason: str = "worker drained") -> bool:
+        return self._invoke(
+            lambda client: bool(client.call(
+                "relinquish", key=key, worker=worker, reason=reason,
+            )["relinquished"]),
+            lambda broker: broker.relinquish(key, worker, reason=reason),
+        )
+
+    def counts(self, keys=None) -> Dict[str, int]:
+        return self._invoke(
+            lambda client: client.counts(keys),
+            lambda broker: broker.counts(keys),
+        )
+
+    def drained(self, keys=None) -> bool:
+        return self._invoke(
+            lambda client: client.drained(keys),
+            lambda broker: broker.drained(keys),
+        )
+
+    def close(self) -> None:
+        self.client.close()
+        self._lease_client.close()
+
+    def __repr__(self) -> str:
+        mode = f"degraded->{self.fallback_root}" if self.degraded else "socket"
+        return f"NetBroker({self.address!r}, {mode})"

@@ -77,13 +77,33 @@ class Worker:
         self.completed = 0
         self.failed = 0
         self.cache_served = 0
-        #: heartbeats that found the lease stolen (we were presumed dead).
+        #: heartbeats that found the lease stolen (we were presumed dead)
+        #: or could no longer be written (ENOSPC/EACCES/dead mount).
         self.leases_lost = 0
+        #: renew attempts that raised (surfaced, not swallowed).
+        self.heartbeat_errors = 0
+        #: key of the spec currently being executed (graceful-drain hook).
+        self.current_key: Optional[str] = None
         self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
 
     def stop(self) -> None:
         """Ask a running loop to exit after the current spec."""
         self._stop.set()
+
+    def relinquish_current(self, reason: str = "worker drained") -> bool:
+        """Hand the in-flight claim back to the queue (graceful drain).
+
+        Called after an interrupt (SIGTERM/SIGINT) cut execution short:
+        the spec goes straight back to ``pending`` with its attempt
+        uncharged, so another worker claims it immediately instead of
+        waiting out this worker's lease TTL.  No-op when nothing is
+        claimed or the claim already reached an outcome.
+        """
+        key, self.current_key = self.current_key, None
+        if key is None:
+            return False
+        return self.broker.relinquish(key, self.worker_id, reason=reason)
 
     # -- the loop --------------------------------------------------------------------
 
@@ -116,12 +136,19 @@ class Worker:
 
     # -- one spec --------------------------------------------------------------------
 
+    #: consecutive failed renew *writes* tolerated before the heartbeat
+    #: declares the lease lost (transient FS hiccups retry; a dead disk
+    #: or revoked permission does not heal in three beats).
+    HEARTBEAT_ERROR_BUDGET = 3
+
     def _execute_claimed(self, record: SpecRecord) -> None:
         key = record.key
+        self.current_key = key
         if self.broker.cache.get(key) is not None:
             # exactly-once shortcut: someone already published this result
             self.broker.complete(key, self.worker_id)
             self.cache_served += 1
+            self.current_key = None
             return
         heartbeat = self._start_heartbeat(key)
         try:
@@ -135,19 +162,31 @@ class Worker:
                 f"{type(exc).__name__}: {exc}",
                 _diagnose(exc),
             )
+            self.current_key = None
         else:
             self.broker.cache.put(key, result, spec=record.spec)
             faultpoints.trip("worker.publish.after_cache_put")
             self.broker.complete(key, self.worker_id)
             self.completed += 1
+            self.current_key = None
         finally:
             heartbeat.set()
+            self._join_heartbeat()
 
     def _start_heartbeat(self, key: str) -> threading.Event:
-        """Renew the lease on ``key`` until the returned event is set."""
+        """Renew the lease on ``key`` until the returned event is set.
+
+        The beat thread never dies silently: a renew that reports the
+        lease stolen, raises persistently (ENOSPC/EACCES/dead mount), or
+        raises anything unexpected is surfaced as a lease loss
+        (``leases_lost``/``heartbeat_errors``) before the thread exits.
+        Execution continues either way — publishing a duplicate result
+        is a no-op through the idempotent cache.
+        """
         done = threading.Event()
 
         def beat() -> None:
+            consecutive_errors = 0
             while not done.wait(self.heartbeat_interval_s):
                 try:
                     if not self.broker.leases.renew(key, self.worker_id):
@@ -156,13 +195,36 @@ class Worker:
                         self.leases_lost += 1
                         return
                 except OSError:
-                    continue  # transient FS hiccup: retry next beat
+                    # transient FS hiccup: retry next beat — but a write
+                    # path that stays broken IS lease loss in progress
+                    self.heartbeat_errors += 1
+                    consecutive_errors += 1
+                    if consecutive_errors >= self.HEARTBEAT_ERROR_BUDGET:
+                        self.leases_lost += 1
+                        return
+                    continue
+                except Exception:
+                    # renew blew up in an unforeseen way: surface it as
+                    # lease loss instead of dying silently in a daemon
+                    self.heartbeat_errors += 1
+                    self.leases_lost += 1
+                    return
+                consecutive_errors = 0
 
-        thread = threading.Thread(
+        self._heartbeat_thread = threading.Thread(
             target=beat, name=f"lease-heartbeat-{key[:8]}", daemon=True
         )
-        thread.start()
+        self._heartbeat_thread.start()
         return done
+
+    def _join_heartbeat(self, timeout_s: Optional[float] = None) -> None:
+        """Wait (bounded) for the beat thread so it never outlives its
+        spec and renews a lease the worker no longer wants."""
+        thread, self._heartbeat_thread = self._heartbeat_thread, None
+        if thread is None:
+            return
+        thread.join(timeout_s if timeout_s is not None else
+                    max(1.0, 2 * self.heartbeat_interval_s))
 
     def __repr__(self) -> str:
         return (

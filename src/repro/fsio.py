@@ -115,9 +115,15 @@ def read_json_lines(path: Union[str, Path]) -> Iterator[dict]:
     journal must treat it as if the append never happened.  Non-dict
     payloads are skipped too — every record this library writes is an
     object.
+
+    Undecodable bytes (a tail torn *inside* a UTF-8 multibyte sequence,
+    or foreign binary garbage) decode with replacement characters; the
+    mangled line then fails the JSON parse and is skipped like any
+    other torn line, instead of detonating the whole replay with a
+    ``UnicodeDecodeError``.
     """
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
             for raw in handle:
                 try:
                     record = json.loads(raw)

@@ -1,0 +1,31 @@
+"""Asynchronous sweep service: ``dimmlink-repro serve`` and its clients.
+
+The service layer is the network front door of the distributed fabric
+(:mod:`repro.fabric`):
+
+* :mod:`repro.service.protocol` — the length-prefixed JSON framing both
+  sides speak, torn-frame tolerant by construction.
+* :mod:`repro.service.server` — the asyncio server.  Concurrent clients
+  submit :class:`~repro.experiments.runner.RunSpec` grids and stream
+  progress; netbroker workers proxy claim/heartbeat/outcome RPCs through
+  it.  All durable state lives in the fabric's journal/lease directory —
+  the server owns no truth of its own and can die at any instruction.
+* :mod:`repro.service.client` — the reconnecting client: jittered capped
+  exponential backoff, idempotent submits, and stream resume from the
+  last acked progress sequence number.
+
+See DESIGN.md §16 for the failure model: which faults the service
+absorbs, which it surfaces, and what drain/resume guarantee it makes.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.protocol import parse_endpoint
+from repro.service.server import ReproService
+
+__all__ = [
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "parse_endpoint",
+]

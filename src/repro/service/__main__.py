@@ -1,0 +1,13 @@
+"""``python -m repro.service``: run the sweep server on a broker dir.
+
+Thin alias for :func:`repro.service.server.main` that avoids runpy's
+found-in-sys.modules warning (the package ``__init__`` imports the
+server module, so ``-m repro.service.server`` would execute it twice).
+"""
+
+import sys
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

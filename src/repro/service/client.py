@@ -1,0 +1,300 @@
+"""The reconnecting sweep-service client.
+
+One :class:`ServiceClient` wraps one TCP endpoint with the retry
+discipline every RPC of the service protocol is designed for:
+
+* **Jittered capped exponential backoff** — connection failures, torn
+  frames, and timeouts back off ``backoff_s * 2^attempt`` (capped),
+  multiplied by a seeded jitter factor so a thousand workers losing one
+  server do not reconnect in lockstep (the thundering-herd half of the
+  ``net.client.reconnect_storm`` fault point).
+* **Idempotent retries** — every op the client re-sends after an
+  ambiguous failure (reply lost, connection cut mid-RPC) is idempotent
+  on the server: submits dedup through the journal's exclusive enqueue,
+  outcomes through the broker's idempotent transitions.  A retry can
+  waste work; it can never double-enqueue or double-count.
+* **Structured flow control** — a :data:`~repro.service.protocol.BUSY`
+  or ``DRAINING`` reply is not an error but an instruction: honor
+  ``retry_after_s`` (bounded by ``busy_budget_s``) or surface
+  :class:`ServiceBusy` so the caller can shed load.
+* **Stream resume** — :meth:`stream` tracks the last acked event
+  sequence number and resubscribes with ``from_seq`` after a reconnect;
+  a server-side ``reset`` (history lost to a restart) is surfaced as an
+  event so callers reconcile idempotently by key.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.fabric import faultpoints
+from repro.fabric.faultpoints import InjectedFaultError
+from repro.service import protocol
+
+
+class ServiceError(ReproError):
+    """The server answered with a structured error reply."""
+
+    def __init__(self, code: str, message: str, reply: Dict[str, object]):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.reply = reply
+
+
+class ServiceBusy(ServiceError):
+    """Admission control rejected the request (``BUSY``/``DRAINING``)."""
+
+
+class ServiceUnavailable(ReproError):
+    """The endpoint stayed unreachable through the whole retry budget."""
+
+
+class ServiceClient:
+    """Blocking client for one ``tcp://host:port`` sweep service."""
+
+    def __init__(
+        self,
+        address: str,
+        timeout_s: float = 5.0,
+        retries: int = 5,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        busy_budget_s: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.address = address
+        self.host, self.port = protocol.parse_endpoint(address)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        #: total seconds :meth:`call` waits out BUSY replies before
+        #: surfacing :class:`ServiceBusy` (0 = surface immediately).
+        self.busy_budget_s = busy_budget_s
+        self._rng = random.Random(seed)
+        self._sock: Optional[socket.socket] = None
+        #: reconnects performed since construction (observability).
+        self.reconnects = 0
+
+    # -- connection plumbing ---------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _backoff(self, attempt: int) -> float:
+        """Capped exponential with jitter in ``[0.5, 1.0)`` of nominal."""
+        nominal = min(self.backoff_cap_s, self.backoff_s * (2 ** attempt))
+        return nominal * (0.5 + 0.5 * self._rng.random())
+
+    # -- the RPC funnel --------------------------------------------------------------
+
+    def call(self, op: str, **fields: object) -> Dict[str, object]:
+        """One idempotent RPC with the full retry discipline applied."""
+        attempt = 0
+        busy_spent = 0.0
+        last_failure: Optional[BaseException] = None
+        while attempt <= self.retries:
+            try:
+                reply = self._exchange({"op": op, **fields})
+            except (ConnectionError, socket.timeout, OSError,
+                    protocol.ProtocolError) as exc:
+                # covers torn frames (ConnectionTorn is a ConnectionError),
+                # refused/reset connections, and half-open timeouts alike
+                last_failure = exc
+                self.close()
+                self.reconnects += 1
+                time.sleep(self._backoff(attempt))
+                attempt += 1
+                continue
+            if reply.get("ok"):
+                return reply
+            code = str(reply.get("error", "UNKNOWN"))
+            message = str(reply.get("message", ""))
+            if code in (protocol.BUSY, protocol.DRAINING):
+                retry_after = float(reply.get("retry_after_s", 0.5) or 0.5)
+                if busy_spent + retry_after > self.busy_budget_s:
+                    raise ServiceBusy(code, message, reply)
+                busy_spent += retry_after
+                time.sleep(retry_after)
+                continue  # flow control does not consume failure budget
+            raise ServiceError(code, message, reply)
+        raise ServiceUnavailable(
+            f"{self.address} unreachable after {self.retries + 1} attempts "
+            f"({type(last_failure).__name__ if last_failure else 'timeout'}: "
+            f"{last_failure})"
+        )
+
+    def _exchange(self, request: Dict[str, object]) -> Dict[str, object]:
+        sock = self._connect()
+        protocol.send_frame(sock, request)
+        reply = protocol.recv_frame(sock)
+        if reply is None:
+            raise protocol.ConnectionTorn("server closed before replying")
+        if faultpoints.armed("net.client.reconnect_storm"):
+            # flapping link: tear the connection down right after a
+            # successful exchange; the next call reconnects from scratch
+            try:
+                faultpoints.trip("net.client.reconnect_storm")
+            except InjectedFaultError:
+                self.close()
+                self.reconnects += 1
+        return reply
+
+    # -- client surface --------------------------------------------------------------
+
+    def hello(self) -> Dict[str, object]:
+        return self.call("hello")
+
+    def submit(
+        self,
+        specs: Sequence,
+        deadline_s: Optional[float] = None,
+        retry_dead: bool = False,
+    ) -> Dict[str, object]:
+        """Submit a RunSpec grid; returns the submit report reply.
+
+        ``specs`` may be RunSpec-shaped objects (``to_json_dict()``) or
+        pre-serialized dicts.  Retrying after an ambiguous failure is
+        safe: the journal's exclusive enqueue makes resubmission a
+        no-op, which the report reflects as ``inflight``/``done``
+        instead of ``enqueued``.
+        """
+        payload = [
+            spec if isinstance(spec, dict) else spec.to_json_dict()
+            for spec in specs
+        ]
+        fields: Dict[str, object] = {"specs": payload, "retry_dead": retry_dead}
+        if deadline_s is not None:
+            fields["deadline_s"] = deadline_s
+        return self.call("submit", **fields)
+
+    def status(self, keys: Optional[Sequence[str]] = None) -> Dict[str, object]:
+        fields = {"keys": list(keys)} if keys is not None else {}
+        return self.call("status", **fields)
+
+    def counts(self, keys: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        fields = {"keys": list(keys)} if keys is not None else {}
+        return self.call("counts", **fields)["counts"]  # type: ignore[return-value]
+
+    def drained(self, keys: Optional[Sequence[str]] = None) -> bool:
+        fields = {"keys": list(keys)} if keys is not None else {}
+        return bool(self.call("drained", **fields)["drained"])
+
+    # -- progress streaming ----------------------------------------------------------
+
+    def stream(
+        self,
+        keys: Optional[Sequence[str]] = None,
+        grid_id: Optional[str] = None,
+        from_seq: int = 0,
+        reconnect_attempts: int = 8,
+    ) -> Iterator[Dict[str, object]]:
+        """Yield a grid's progress events until it drains.
+
+        Auto-reconnects: a cut stream resubscribes with ``from_seq`` =
+        last acked sequence number + 1, so no event is yielded twice and
+        none is skipped.  When the server's event log no longer reaches
+        back that far (restart), a ``{"type": "reset", ...}`` event is
+        yielded first and numbering restarts where the server says.
+        """
+        last_seq = from_seq - 1
+        known_grid = grid_id
+        failures = 0
+        while True:
+            try:
+                sub_fields: Dict[str, object] = {"from_seq": last_seq + 1}
+                if known_grid is not None:
+                    sub_fields["grid_id"] = known_grid
+                if keys is not None:
+                    sub_fields["keys"] = list(keys)
+                sock = self._connect()
+                protocol.send_frame(sock, {"op": "subscribe", **sub_fields})
+                ack = protocol.recv_frame(sock)
+                if ack is None:
+                    raise protocol.ConnectionTorn("no subscribe ack")
+                if not ack.get("ok"):
+                    raise ServiceError(
+                        str(ack.get("error", "UNKNOWN")),
+                        str(ack.get("message", "")), ack,
+                    )
+                known_grid = str(ack.get("grid_id", known_grid or ""))
+                failures = 0  # a fresh ack proves the server is healthy
+                while True:
+                    frame = protocol.recv_frame(sock)
+                    if frame is None:
+                        raise protocol.ConnectionTorn("stream cut")
+                    if frame.get("stream_end"):
+                        return
+                    if frame.get("reset"):
+                        last_seq = int(frame.get("next_seq", 0)) - 1
+                        yield {
+                            "type": "reset",
+                            "counts": frame.get("counts"),
+                        }
+                        continue
+                    event = frame.get("event")
+                    seq = frame.get("seq")
+                    if not isinstance(event, dict) or not isinstance(seq, int):
+                        continue  # not a stream frame for us
+                    if seq <= last_seq:
+                        continue  # replayed overlap: already acked
+                    last_seq = seq
+                    failures = 0
+                    yield event
+            except (ConnectionError, socket.timeout, OSError,
+                    protocol.ProtocolError) as exc:
+                self.close()
+                self.reconnects += 1
+                failures += 1
+                if failures > reconnect_attempts:
+                    raise ServiceUnavailable(
+                        f"stream to {self.address} kept dying: {exc}"
+                    ) from exc
+                time.sleep(self._backoff(failures - 1))
+
+    def watch(
+        self,
+        keys: Sequence[str],
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+        **stream_kwargs,
+    ) -> Dict[str, int]:
+        """Stream until drained; returns the final counts tally."""
+        final: Dict[str, int] = {}
+        for event in self.stream(keys=keys, **stream_kwargs):
+            if on_event is not None:
+                on_event(event)
+            if event.get("type") == "drained":
+                counts = event.get("counts")
+                if isinstance(counts, dict):
+                    final = counts  # type: ignore[assignment]
+        return final or self.counts(keys)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceClient({self.address!r}, reconnects={self.reconnects})"
+        )

@@ -1,0 +1,212 @@
+"""Wire protocol of the sweep service: length-prefixed JSON frames.
+
+One frame = a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON encoding a single object.  Both the blocking client and the
+asyncio server speak exactly this; there is no handshake state beyond
+the optional ``hello`` op.
+
+Failure discipline mirrors :mod:`repro.fsio`'s torn-tail rule: a frame
+that arrives *partially* (sender died mid-write, connection cut between
+segments) is indistinguishable from a dropped connection and is treated
+as one — :class:`ConnectionTorn` — never as data.  Receivers therefore
+can't act on half a request, and every RPC the fabric routes through
+this protocol is idempotent, so "did my last frame land?" is always
+answered by re-sending it.
+
+Requests are ``{"op": <name>, ...}``; replies are ``{"ok": true, ...}``
+or ``{"ok": false, "error": <CODE>, "message": ...}``.  Structured error
+codes (:data:`BUSY`, :data:`DRAINING`, :data:`DEADLINE`,
+:data:`BAD_REQUEST`) let clients distinguish back-off-and-retry from
+give-up.
+
+The ``net.frame.torn_write`` fault point lives here: armed, a sender
+writes exactly half the frame bytes and then dies — the chaos suite's
+way of proving the torn-frame rule holds on both sides.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.fabric import faultpoints
+
+#: protocol revision, exchanged in ``hello``.
+PROTOCOL_VERSION = 1
+
+#: hard bound on one frame's payload: a grid of a few thousand specs
+#: fits comfortably; anything larger is a malformed or hostile peer.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+# -- structured error codes ----------------------------------------------------------
+
+#: admission queue full: retry later (``retry_after_s`` says when).
+BUSY = "BUSY"
+#: server is drain-stopping: finish reads elsewhere, submit nowhere.
+DRAINING = "DRAINING"
+#: the request's deadline passed before the work could finish.
+DEADLINE = "DEADLINE"
+#: the peer sent something the protocol cannot honor.
+BAD_REQUEST = "BAD_REQUEST"
+
+
+class ProtocolError(ReproError):
+    """The peer spoke something that is not this protocol."""
+
+
+class ConnectionTorn(ConnectionError):
+    """The connection died mid-frame (torn write or cut link).
+
+    Subclasses :class:`ConnectionError` so reconnect loops that already
+    catch connection failures handle torn frames for free.
+    """
+
+
+def parse_endpoint(value: str) -> Tuple[str, int]:
+    """``"tcp://host:port"`` (or bare ``host:port``) -> ``(host, port)``."""
+    text = value.strip()
+    if text.startswith("tcp://"):
+        text = text[len("tcp://"):]
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(
+            f"malformed service endpoint {value!r}: expected tcp://host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ProtocolError(f"malformed service port in {value!r}") from None
+
+
+def is_endpoint(value: object) -> bool:
+    """Does a ``--broker`` argument name a socket endpoint (vs a dir)?"""
+    return isinstance(value, str) and value.startswith("tcp://")
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """One message -> its full on-wire bytes (length prefix included)."""
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds protocol bound")
+    return _LEN.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> Dict[str, object]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must encode a JSON object")
+    return message
+
+
+def _torn_prefix(data: bytes) -> bytes:
+    """The bytes a torn write puts on the wire before the sender dies."""
+    return data[: max(1, len(data) // 2)]
+
+
+# -- blocking (client-side) framing --------------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Write one frame to a connected socket (with the torn-write hook)."""
+    data = encode_frame(message)
+    if faultpoints.armed("net.frame.torn_write"):
+        sock.sendall(_torn_prefix(data))
+        faultpoints.trip("net.frame.torn_write")
+    sock.sendall(data)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    """``count`` bytes, ``None`` on clean EOF *before* the first byte."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == count and not chunks:
+                return None  # clean EOF at a frame boundary
+            raise ConnectionTorn(
+                f"peer died mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on orderly EOF between frames.
+
+    A mid-frame EOF raises :class:`ConnectionTorn`; ``socket.timeout``
+    propagates to the caller's retry logic untouched.
+    """
+    header = _recv_exactly(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced an oversized {length}-byte frame")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ConnectionTorn("peer died between frame header and body")
+    return _decode_body(body)
+
+
+# -- asyncio (server-side) framing ---------------------------------------------------
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: Dict[str, object]
+) -> None:
+    """Async twin of :func:`send_frame`, same torn-write fault hook."""
+    data = encode_frame(message)
+    if faultpoints.armed("net.frame.torn_write"):
+        writer.write(_torn_prefix(data))
+        await writer.drain()
+        faultpoints.trip("net.frame.torn_write")
+    writer.write(data)
+    await writer.drain()
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, object]]:
+    """Async twin of :func:`recv_frame` (``None`` on orderly EOF)."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ConnectionTorn("peer died mid-frame header") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced an oversized {length}-byte frame")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionTorn(
+            f"peer died mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return _decode_body(body)
+
+
+# -- reply helpers -------------------------------------------------------------------
+
+
+def ok(**fields: object) -> Dict[str, object]:
+    reply: Dict[str, object] = {"ok": True}
+    reply.update(fields)
+    return reply
+
+
+def error(code: str, message: str, **fields: object) -> Dict[str, object]:
+    reply: Dict[str, object] = {"ok": False, "error": code, "message": message}
+    reply.update(fields)
+    return reply

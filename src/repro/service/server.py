@@ -1,0 +1,812 @@
+"""``dimmlink-repro serve``: the asyncio front door of the sweep fabric.
+
+The server owns **no durable truth of its own**.  Every submit, claim,
+heartbeat, and outcome it handles is applied to a
+:class:`~repro.fabric.broker.WorkBroker` — the crash-safe journal/lease
+directory — through a single executor thread (the "journal owner"), so
+the server can die at any instruction and a restart replays a consistent
+queue.  What *is* in memory (per-grid progress logs, per-request
+deadlines) is either reconstructible from the journal or explicitly
+best-effort, and the graceful-drain path persists it to a
+``service.json`` resume manifest.
+
+Robustness mechanisms, in the order a request meets them:
+
+* **Admission control** — submits are rejected with a structured
+  :data:`~repro.service.protocol.BUSY` reply when the bounded waiting
+  line is full or the live queue would exceed ``max_live_specs``.
+  Nothing is buffered beyond those bounds, so a submit storm cannot grow
+  memory; a rejected submit journaled nothing and is safe to retry.
+* **Per-request deadlines** — a submit's ``deadline_s`` is remembered
+  per spec key and propagated into the fabric's lease TTLs at claim and
+  renew time (a lease never outlives its deadline), and pending specs
+  whose deadline lapses are quarantined instead of executed for a
+  client that already gave up.
+* **Idempotency** — submits dedup through the journal's exclusive
+  enqueue, outcomes through the broker's idempotent
+  ``complete``/``fail``; a client that retries after a lost reply never
+  double-enqueues or double-counts.
+* **Graceful drain** — on SIGTERM (or :meth:`ReproService.request_drain`)
+  the listener closes, in-flight progress streams run until their grids
+  drain (bounded by ``drain_timeout_s``), the resume manifest is
+  written, and the process exits without holding a single lease.
+* **Streams resume** — progress events carry a per-grid sequence
+  number; a reconnecting subscriber replays from its last acked seq, or
+  receives an explicit ``reset`` snapshot when the log predates this
+  server's lifetime.
+
+The ``net.*`` fault points of :mod:`repro.fabric.faultpoints` are
+tripped here (and in the protocol layer) so the chaos suite can kill
+the server at its nastiest instructions — mid-reply after journaling an
+outcome, mid-frame, or into a half-open silence — and prove recovery.
+
+Run standalone::
+
+    python -m repro.service.server /path/to/broker --port 7741
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import hashlib
+import json
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.runner import RunSpec
+from repro.fabric import faultpoints
+from repro.fabric.broker import BrokerConfig, WorkBroker
+from repro.fabric.faultpoints import InjectedFaultError
+from repro.fsio import atomic_write_text
+from repro.nmp.results import RunResult
+from repro.service import protocol
+from repro.trace.progress import RateWindow
+
+MANIFEST_FILENAME = "service.json"
+
+#: how long an armed ``net.outcome.delayed`` reply stalls — chosen to
+#: overrun the chaos clients' RPC timeout so the retry path really runs.
+OUTCOME_DELAY_S = 0.6
+
+#: floor on a deadline-shortened lease TTL, so a claim in the last
+#: milliseconds of a deadline still journals coherently.
+MIN_LEASE_TTL_S = 0.05
+
+
+def grid_id_for(keys: Sequence[str]) -> str:
+    """Stable identity of a submitted grid: hash of its sorted keys."""
+    digest = hashlib.sha256("\n".join(sorted(keys)).encode()).hexdigest()
+    return digest[:16]
+
+
+class _GridStream:
+    """The append-only progress event log of one submitted grid.
+
+    Events are numbered ``base_seq, base_seq+1, ...``; everything below
+    ``base_seq`` predates this server process (lost to a restart) and
+    resumes via an explicit ``reset``.  The log is the *only* state a
+    stream needs, so any number of subscribers — including ones that
+    reconnect mid-grid — replay the same bytes in the same order.
+    """
+
+    #: events kept per grid; older ones age out and resume via reset.
+    MAX_EVENTS = 100_000
+
+    def __init__(self, grid_id: str, keys: List[str], base_seq: int = 0) -> None:
+        self.grid_id = grid_id
+        self.keys = keys
+        self.base_seq = base_seq
+        self.events: List[Dict[str, object]] = []
+        self.states: Dict[str, str] = {}
+        self.drained = False
+        self.lock = asyncio.Lock()
+
+    @property
+    def next_seq(self) -> int:
+        return self.base_seq + len(self.events)
+
+    def append(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+        if len(self.events) > self.MAX_EVENTS:
+            overflow = len(self.events) - self.MAX_EVENTS
+            del self.events[:overflow]
+            self.base_seq += overflow
+
+    def event_at(self, seq: int) -> Optional[Dict[str, object]]:
+        index = seq - self.base_seq
+        if 0 <= index < len(self.events):
+            return self.events[index]
+        return None
+
+
+class _CloseConnection(Exception):
+    """Handler verdict: send nothing further and drop this connection."""
+
+
+class _NoReply(Exception):
+    """Handler verdict: send nothing but keep the connection open
+    (the half-open failure mode)."""
+
+
+class ReproService:
+    """The asyncio sweep service over one broker directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[BrokerConfig] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        durable: bool = True,
+        max_live_specs: int = 1024,
+        max_submit_waiters: int = 8,
+        poll_interval_s: float = 0.2,
+        drain_timeout_s: float = 30.0,
+        stream_keepalive_s: float = 1.0,
+    ) -> None:
+        self.root = Path(root)
+        self.host = host
+        self.port = port  # 0 = ephemeral; updated once bound
+        self.broker = WorkBroker(
+            self.root, config=config, cache_dir=cache_dir, durable=durable
+        )
+        self.durable = durable
+        self.max_live_specs = max_live_specs
+        self.max_submit_waiters = max_submit_waiters
+        self.poll_interval_s = poll_interval_s
+        self.drain_timeout_s = drain_timeout_s
+        #: idle streams emit a keepalive frame this often so a healthy
+        #: but quiet grid (slow specs) never trips client read timeouts.
+        self.stream_keepalive_s = stream_keepalive_s
+        #: completions per second over a trailing window (status/streams).
+        self.throughput = RateWindow(window_s=10.0)
+        self._grids: Dict[str, _GridStream] = {}
+        #: spec key -> absolute epoch deadline (best-effort, manifested).
+        self._deadlines: Dict[str, float] = {}
+        self._draining = False
+        self._drain_requested: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._conn_tasks: set = set()
+        #: connection tasks currently pushing a progress stream — the
+        #: only ones graceful drain waits for (idle readers just close).
+        self._active_streams: set = set()
+        self._submit_waiters = 0
+        self._submit_lock: Optional[asyncio.Lock] = None
+        # one thread = one journal owner: every broker mutation and read
+        # funnels through it in arrival order
+        self._journal_owner = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="svc-journal"
+        )
+        self._restore_manifest()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and restore resumable state."""
+        self._loop = asyncio.get_running_loop()
+        self._drain_requested = asyncio.Event()
+        self._submit_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_drain`, then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        assert self._drain_requested is not None
+        await self._drain_requested.wait()
+        await self.drain()
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (signal-handler and thread safe)."""
+        self._draining = True
+        loop, event = self._loop, self._drain_requested
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already gone: the drain it would start is done
+
+    async def drain(self) -> None:
+        """Stop accepting, let streams finish, persist the manifest."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # in-flight progress streams get the full drain budget; idle
+        # connections (parked between requests) are simply cancelled —
+        # their clients reconnect-and-resume against the successor
+        if self._active_streams:
+            _, stragglers = await asyncio.wait(
+                set(self._active_streams), timeout=self.drain_timeout_s
+            )
+            for task in stragglers:
+                task.cancel()
+        for task in set(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *set(self._conn_tasks), return_exceptions=True
+            )
+        await self._fs(self._write_manifest)
+        self._journal_owner.shutdown(wait=True)
+
+    # -- manifest --------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_FILENAME
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": 1,
+            "host": self.host,
+            "port": self.port,
+            "drained": True,
+            "grids": {
+                grid.grid_id: {"keys": grid.keys, "next_seq": grid.next_seq}
+                for grid in self._grids.values()
+            },
+            "deadlines": dict(self._deadlines),
+            "counts": self.broker.counts(),
+        }
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True),
+            durable=self.durable,
+        )
+
+    def _restore_manifest(self) -> None:
+        """Resume grids/deadlines a drained predecessor left behind."""
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+            grids = manifest.get("grids", {})
+            deadlines = manifest.get("deadlines", {})
+        except (OSError, ValueError, AttributeError):
+            return
+        if not isinstance(grids, dict) or not isinstance(deadlines, dict):
+            return
+        for grid_id, entry in grids.items():
+            try:
+                keys = [str(k) for k in entry["keys"]]
+                next_seq = int(entry.get("next_seq", 0))
+            except (TypeError, KeyError, ValueError):
+                continue
+            # the event log is gone: future events continue the numbering,
+            # and a subscriber behind next_seq gets an explicit reset
+            self._grids[str(grid_id)] = _GridStream(
+                str(grid_id), keys, base_seq=next_seq
+            )
+        for key, stamp in deadlines.items():
+            try:
+                self._deadlines[str(key)] = float(stamp)
+            except (TypeError, ValueError):
+                continue
+
+    # -- plumbing --------------------------------------------------------------------
+
+    async def _fs(self, fn, *args):
+        """Run one broker/filesystem operation on the journal owner."""
+        assert self._loop is not None
+        return await self._loop.run_in_executor(
+            self._journal_owner, lambda: fn(*args)
+        )
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(reader)
+                except (protocol.ConnectionTorn, protocol.ProtocolError,
+                        ConnectionError, OSError):
+                    break  # torn frame == dropped peer: never act on half
+                except asyncio.CancelledError:
+                    break  # drain cancelled an idle reader: close quietly
+                if request is None:
+                    break
+                try:
+                    reply = await self._dispatch(request, writer)
+                except _NoReply:
+                    if self._draining:
+                        break  # a stream just finished during drain: close
+                    continue  # half-open: swallow the request silently
+                except (_CloseConnection, InjectedFaultError):
+                    break
+                except (ConnectionError, OSError):
+                    break
+                except asyncio.CancelledError:
+                    break  # drain gave up on this stream: close quietly
+                except Exception as exc:  # a handler bug must not kill the server
+                    reply = protocol.error(
+                        protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}"
+                    )
+                try:
+                    await protocol.write_frame(writer, reply)
+                except (InjectedFaultError, ConnectionError, OSError):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: Dict[str, object], writer: asyncio.StreamWriter
+    ) -> Dict[str, object]:
+        try:
+            faultpoints.trip("net.conn.half_open")
+        except InjectedFaultError:
+            raise _NoReply() from None
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return protocol.error(protocol.BAD_REQUEST, f"unknown op {op!r}")
+        return await handler(request, writer)
+
+    # -- deadline plumbing -----------------------------------------------------------
+
+    def _deadline_ttl(self, key: str) -> Optional[float]:
+        """Lease TTL bound for ``key``: never outlive its deadline."""
+        deadline = self._deadlines.get(key)
+        if deadline is None:
+            return None
+        remaining = deadline - time.time()
+        return max(MIN_LEASE_TTL_S, min(self.broker.config.lease_ttl_s, remaining))
+
+    async def _expire_overdue(self) -> None:
+        """Quarantine pending specs whose request deadline lapsed."""
+        now = time.time()
+        overdue = [k for k, d in self._deadlines.items() if d < now]
+        for key in overdue:
+            record = await self._fs(self.broker.journal.read, key)
+            if record is not None and record.state == "pending":
+                await self._fs(
+                    self.broker.expire, key,
+                    "request deadline exceeded before execution started",
+                )
+                record = await self._fs(self.broker.journal.read, key)
+            if record is None or record.state in ("done", "dead"):
+                # terminal (or never journaled): stop tracking; leased
+                # specs keep their TTL bound until they reach an outcome
+                self._deadlines.pop(key, None)
+
+    # -- ops: clients ----------------------------------------------------------------
+
+    async def _op_hello(self, request, writer):
+        return protocol.ok(
+            server="dimmlink-repro",
+            proto=protocol.PROTOCOL_VERSION,
+            draining=self._draining,
+            config=dataclasses.asdict(self.broker.config),
+        )
+
+    async def _op_submit(self, request, writer):
+        if self._draining:
+            return protocol.error(
+                protocol.DRAINING, "server is draining; submit elsewhere",
+                retry_after_s=1.0,
+            )
+        raw_specs = request.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            return protocol.error(
+                protocol.BAD_REQUEST, "submit needs a non-empty 'specs' list"
+            )
+        try:
+            grid = [RunSpec(**spec) for spec in raw_specs]
+        except Exception as exc:
+            return protocol.error(
+                protocol.BAD_REQUEST, f"malformed spec: {exc}"
+            )
+        # bounded waiting line: beyond it, shed load instead of buffering
+        if self._submit_waiters >= self.max_submit_waiters:
+            return protocol.error(
+                protocol.BUSY,
+                f"submit queue full ({self._submit_waiters} waiting)",
+                retry_after_s=0.25,
+            )
+        self._submit_waiters += 1
+        try:
+            assert self._submit_lock is not None
+            async with self._submit_lock:
+                counts = await self._fs(self.broker.counts)
+                live = counts["pending"] + counts["leased"]
+                if live and live + len(grid) > self.max_live_specs:
+                    return protocol.error(
+                        protocol.BUSY,
+                        f"{live} live specs + {len(grid)} submitted exceeds "
+                        f"admission bound {self.max_live_specs}",
+                        retry_after_s=1.0,
+                        live=live,
+                        limit=self.max_live_specs,
+                    )
+                retry_dead = bool(request.get("retry_dead", False))
+                report = await self._fs(
+                    self.broker.submit, grid, retry_dead
+                )
+        finally:
+            self._submit_waiters -= 1
+        deadline_s = request.get("deadline_s")
+        if isinstance(deadline_s, (int, float)) and deadline_s > 0:
+            stamp = time.time() + float(deadline_s)
+            for key in report.keys:
+                self._deadlines[key] = stamp
+        grid_stream = self._register_grid(report.keys)
+        payload = dataclasses.asdict(report)
+        return protocol.ok(report=payload, grid_id=grid_stream.grid_id)
+
+    def _register_grid(self, keys: List[str]) -> _GridStream:
+        grid_id = grid_id_for(keys)
+        grid = self._grids.get(grid_id)
+        if grid is None:
+            grid = _GridStream(grid_id, list(keys))
+            self._grids[grid_id] = grid
+        return grid
+
+    async def _op_status(self, request, writer):
+        keys = request.get("keys")
+        counts = await self._fs(
+            self.broker.counts, keys if isinstance(keys, list) else None
+        )
+        live_leases = await self._fs(self.broker.leases.live_count)
+        return protocol.ok(
+            counts=counts,
+            live_leases=live_leases,
+            draining=self._draining,
+            throughput_per_s=self.throughput.rate(),
+            grids=len(self._grids),
+        )
+
+    async def _op_subscribe(self, request, writer):
+        """Stream a grid's progress events until it drains.
+
+        Takes over the connection: after the acknowledging reply, every
+        frame pushed is ``{"stream": grid_id, "seq": n, "event": ...}``
+        until a final ``{"stream_end": grid_id}``.  ``from_seq`` resumes
+        an interrupted stream; a ``reset`` frame (with a fresh counts
+        snapshot) replaces history that no longer exists.
+        """
+        grid_id = request.get("grid_id")
+        keys = request.get("keys")
+        grid: Optional[_GridStream] = None
+        if isinstance(grid_id, str):
+            grid = self._grids.get(grid_id)
+        if grid is None and isinstance(keys, list) and keys:
+            grid = self._register_grid([str(k) for k in keys])
+        if grid is None:
+            return protocol.error(
+                protocol.BAD_REQUEST,
+                "subscribe needs 'keys' or a known 'grid_id'",
+            )
+        cursor = request.get("from_seq", 0)
+        cursor = int(cursor) if isinstance(cursor, (int, float)) else 0
+        task = asyncio.current_task()
+        if task is not None:
+            # mark this connection as an in-flight stream: graceful drain
+            # waits for it (bounded) instead of cancelling it outright
+            self._active_streams.add(task)
+        try:
+            await protocol.write_frame(
+                writer,
+                protocol.ok(grid_id=grid.grid_id, next_seq=grid.next_seq),
+            )
+            if cursor < grid.base_seq or cursor > grid.next_seq:
+                # the client's cursor falls outside this server's event
+                # history — either the events it wants predate us, or its
+                # numbering came from a previous incarnation that died
+                # without a manifest (cursor ahead of next_seq): resync
+                counts = await self._fs(self.broker.counts, grid.keys)
+                await protocol.write_frame(writer, {
+                    "stream": grid.grid_id,
+                    "reset": True,
+                    "next_seq": grid.base_seq,
+                    "counts": counts,
+                })
+                cursor = grid.base_seq
+            last_write = time.monotonic()
+            while True:
+                await self._advance_grid(grid)
+                while cursor < grid.next_seq:
+                    event = grid.event_at(cursor)
+                    if event is None:  # aged out mid-stream: resync
+                        counts = await self._fs(self.broker.counts, grid.keys)
+                        await protocol.write_frame(writer, {
+                            "stream": grid.grid_id,
+                            "reset": True,
+                            "next_seq": grid.base_seq,
+                            "counts": counts,
+                        })
+                        cursor = grid.base_seq
+                        continue
+                    await protocol.write_frame(writer, {
+                        "stream": grid.grid_id, "seq": cursor, "event": event,
+                    })
+                    cursor += 1
+                    last_write = time.monotonic()
+                if grid.drained:
+                    break
+                if time.monotonic() - last_write >= self.stream_keepalive_s:
+                    # a quiet grid is not a dead one: keep the pipe warm
+                    # so subscribers never mistake idleness for loss
+                    await protocol.write_frame(
+                        writer, {"stream": grid.grid_id, "keepalive": True}
+                    )
+                    last_write = time.monotonic()
+                await asyncio.sleep(self.poll_interval_s)
+            await protocol.write_frame(writer, {"stream_end": grid.grid_id})
+        finally:
+            if task is not None:
+                self._active_streams.discard(task)
+        raise _NoReply()  # frames already written; resume the read loop
+
+    async def _advance_grid(self, grid: _GridStream) -> None:
+        """Poll the journal and append any new progress events."""
+        async with grid.lock:
+            if grid.drained:
+                return
+            await self._expire_overdue()
+            records = await self._fs(self.broker.records)
+            if not grid.events and not grid.base_seq:
+                counts = self._tally(grid, records)
+                grid.append({"type": "snapshot", "counts": counts})
+            for key in grid.keys:
+                record = records.get(key)
+                state = record.state if record is not None else "pending"
+                if grid.states.get(key, "pending") == state:
+                    continue
+                grid.states[key] = state
+                event: Dict[str, object] = {
+                    "type": "spec", "key": key, "state": state,
+                }
+                if record is not None:
+                    if record.worker:
+                        event["worker"] = record.worker
+                    if state in ("pending", "dead") and record.error:
+                        event["error"] = record.error
+                if state == "done":
+                    self.throughput.record()
+                grid.append(event)
+            counts = self._tally(grid, records)
+            if counts["pending"] == 0 and counts["leased"] == 0:
+                grid.drained = True
+                grid.append({"type": "drained", "counts": counts})
+
+    @staticmethod
+    def _tally(grid: _GridStream, records) -> Dict[str, int]:
+        tally = {"pending": 0, "leased": 0, "done": 0, "dead": 0, "total": 0}
+        for key in grid.keys:
+            record = records.get(key)
+            tally[record.state if record is not None else "pending"] += 1
+            tally["total"] += 1
+        return tally
+
+    # -- ops: netbroker workers ------------------------------------------------------
+
+    async def _op_claim(self, request, writer):
+        worker = str(request.get("worker", ""))
+        if not worker:
+            return protocol.error(protocol.BAD_REQUEST, "claim needs 'worker'")
+        if self._draining:
+            # drain = stop handing out new work; in-flight outcomes and
+            # heartbeats keep flowing so nothing is orphaned
+            return protocol.ok(record=None, draining=True)
+        await self._expire_overdue()
+        record = await self._fs(self.broker.claim, worker)
+        if record is None:
+            return protocol.ok(record=None)
+        ttl = self._deadline_ttl(record.key)
+        if ttl is not None:
+            # the lease must not outlive the request deadline
+            await self._fs(self.broker.leases.renew, record.key, worker, ttl)
+        payload = dataclasses.asdict(record)
+        return protocol.ok(record=payload, lease_ttl_s=ttl)
+
+    async def _op_renew(self, request, writer):
+        key = str(request.get("key", ""))
+        worker = str(request.get("worker", ""))
+        ttl = self._deadline_ttl(key)
+        try:
+            renewed = await self._fs(self.broker.leases.renew, key, worker, ttl)
+        except OSError:
+            renewed = False  # surfaced to the worker as lease loss
+        faultpoints.trip("net.heartbeat.drop_ack")
+        return protocol.ok(renewed=bool(renewed))
+
+    async def _op_complete(self, request, writer):
+        key = str(request.get("key", ""))
+        worker = str(request.get("worker", ""))
+        if faultpoints.armed("net.outcome.delayed"):
+            await asyncio.sleep(OUTCOME_DELAY_S)
+            faultpoints.trip("net.outcome.delayed")
+        completed = await self._fs(self.broker.complete, key, worker)
+        if completed:
+            self.throughput.record()
+        self._deadlines.pop(key, None)
+        # the transition is journaled; dying before the reply leaves the
+        # wire is exactly-once's worst case — chaos proves it recovers
+        faultpoints.trip("net.server.exit_mid_reply")
+        return protocol.ok(completed=bool(completed))
+
+    async def _op_fail(self, request, writer):
+        key = str(request.get("key", ""))
+        worker = str(request.get("worker", ""))
+        error = str(request.get("error", ""))
+        diagnosis = str(request.get("diagnosis", ""))
+        failed = await self._fs(self.broker.fail, key, worker, error, diagnosis)
+        faultpoints.trip("net.server.exit_mid_reply")
+        return protocol.ok(failed=bool(failed))
+
+    async def _op_relinquish(self, request, writer):
+        key = str(request.get("key", ""))
+        worker = str(request.get("worker", ""))
+        reason = str(request.get("reason", "worker drained"))
+        relinquished = await self._fs(
+            self.broker.relinquish, key, worker, reason
+        )
+        return protocol.ok(relinquished=bool(relinquished))
+
+    async def _op_cache_get(self, request, writer):
+        key = str(request.get("key", ""))
+        result = await self._fs(self.broker.cache.get, key)
+        if result is None:
+            return protocol.ok(result=None)
+        return protocol.ok(result=result.to_json_dict())
+
+    async def _op_cache_put(self, request, writer):
+        key = str(request.get("key", ""))
+        payload = request.get("result")
+        if not isinstance(payload, dict):
+            return protocol.error(
+                protocol.BAD_REQUEST, "cache_put needs a 'result' object"
+            )
+        try:
+            result = RunResult.from_json_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            return protocol.error(
+                protocol.BAD_REQUEST, f"unparsable result payload: {exc}"
+            )
+        spec = request.get("spec")
+        await self._fs(
+            self.broker.cache.put, key, result,
+            spec if isinstance(spec, dict) else None,
+        )
+        return protocol.ok(stored=True)
+
+    async def _op_counts(self, request, writer):
+        keys = request.get("keys")
+        counts = await self._fs(
+            self.broker.counts, keys if isinstance(keys, list) else None
+        )
+        return protocol.ok(counts=counts)
+
+    async def _op_drained(self, request, writer):
+        keys = request.get("keys")
+        drained = await self._fs(
+            self.broker.drained, keys if isinstance(keys, list) else None
+        )
+        return protocol.ok(drained=bool(drained))
+
+
+class ServiceThread:
+    """Run a :class:`ReproService` on a background thread (tests, CLI
+    helpers, and the smoke examples).  ``start()`` blocks until the
+    port is bound; ``drain()`` performs the graceful shutdown."""
+
+    def __init__(self, service: ReproService) -> None:
+        self.service = service
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    def start(self, timeout_s: float = 10.0) -> "ServiceThread":
+        def run() -> None:
+            try:
+                asyncio.run(self._main())
+            except BaseException as exc:  # surfaced on join
+                self._failure = exc
+                self._started.set()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("service failed to start in time")
+        if self._failure is not None:
+            raise RuntimeError(f"service failed to start: {self._failure}")
+        return self
+
+    async def _main(self) -> None:
+        await self.service.start()
+        self._started.set()
+        await self.service.serve_forever()
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.service.host}:{self.service.port}"
+
+    def drain(self, timeout_s: float = 60.0) -> None:
+        self.service.request_drain()
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+
+
+def main(argv=None) -> int:
+    """``python -m repro.service.server``: serve one broker directory."""
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Serve a DIMM-Link sweep broker over a socket.",
+    )
+    parser.add_argument("root", help="broker directory (the durable state store)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--max-live-specs", type=int, default=1024,
+        help="admission bound: reject submits that would exceed this many "
+        "live (pending+leased) specs (default: 1024)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease TTL when creating the broker (existing policy wins)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-drain bound for in-flight progress streams",
+    )
+    args = parser.parse_args(argv)
+    config = (
+        BrokerConfig(lease_ttl_s=args.lease_ttl) if args.lease_ttl else None
+    )
+    service = ReproService(
+        args.root,
+        host=args.host,
+        port=args.port,
+        config=config,
+        max_live_specs=args.max_live_specs,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    async def run() -> None:
+        await service.start()
+        print(f"[serve] listening on tcp://{service.host}:{service.port} "
+              f"(broker: {service.root})", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, service.request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX loop: rely on KeyboardInterrupt
+        await service.serve_forever()
+        print(f"[serve] drained; resume manifest at {service.manifest_path}",
+              flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

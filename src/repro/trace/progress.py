@@ -1,0 +1,68 @@
+"""Wall-clock progress sampling for the service layer.
+
+The trace package's :class:`~repro.trace.sampler.TimeSeriesSampler`
+windows *simulated* time; the sweep service needs the same windowed-rate
+idea over *wall-clock* events — specs completing, submits arriving — so
+its status replies and progress streams can report live throughput
+without keeping unbounded history.
+
+:class:`RateWindow` is that hook: record one timestamp per event, keep
+only the trailing window, and report events/second over it.  Thread-safe
+(the service's journal-owner thread records while the event loop reads)
+and O(window) memory by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Optional
+
+
+class RateWindow:
+    """Events-per-second over a sliding wall-clock window."""
+
+    def __init__(self, window_s: float = 10.0, max_events: int = 100_000) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s}")
+        self.window_s = window_s
+        #: hard memory bound: beyond it the oldest stamps age out early,
+        #: which can only *under*-report a (huge) burst rate.
+        self.max_events = max_events
+        self._stamps: Deque[float] = deque()
+        self._lock = threading.Lock()
+        #: total events ever recorded (monotone, not windowed).
+        self.total = 0
+
+    def record(self, stamp: Optional[float] = None) -> None:
+        """Note one event (``stamp`` defaults to now)."""
+        now = stamp if stamp is not None else time.monotonic()
+        with self._lock:
+            self.total += 1
+            self._stamps.append(now)
+            self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._stamps and self._stamps[0] < horizon:
+            self._stamps.popleft()
+        while len(self._stamps) > self.max_events:
+            self._stamps.popleft()
+
+    def count(self, now: Optional[float] = None) -> int:
+        """Events inside the trailing window."""
+        now = now if now is not None else time.monotonic()
+        with self._lock:
+            self._evict(now)
+            return len(self._stamps)
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Events per second over the trailing window."""
+        return self.count(now) / self.window_s
+
+    def __repr__(self) -> str:
+        return (
+            f"RateWindow({self.window_s}s, total={self.total}, "
+            f"windowed={self.count()})"
+        )

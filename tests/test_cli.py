@@ -417,3 +417,116 @@ def test_submit_apsp_grid_over_broker(tmp_path, capsys):
     assert main(args) == 0
     out = capsys.readouterr().out
     assert "grid complete" in out
+
+
+def test_work_sigterm_drains_gracefully_and_releases_claim(tmp_path):
+    """Satellite: SIGTERM on `work` exits 143 after handing any
+    in-flight claim straight back to the queue — no lease left behind,
+    nothing quarantined, the remaining specs immediately claimable."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+    from pathlib import Path
+
+    from repro.experiments.runner import RunSpec
+    from repro.fabric.broker import WorkBroker
+
+    repo = Path(__file__).resolve().parent.parent
+    broker_dir = str(tmp_path / "farm")
+    specs = [
+        RunSpec(config="4D-2C", workload="pagerank", size="tiny", seed=seed)
+        for seed in range(80)
+    ]
+    broker = WorkBroker(broker_dir)
+    broker.submit(specs)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(repo / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.cli", "work",
+         "--broker", broker_dir],
+        cwd=repo, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            counts = broker.counts()
+            if counts["done"] >= 1 or counts["leased"] >= 1:
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("worker never started draining")
+        proc.send_signal(signal.SIGTERM)
+        output = proc.communicate(timeout=60)[0]
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == 143, output
+    assert "drained by signal 15" in output
+    # the graceful contract: zero held leases, zero quarantined specs,
+    # and any interrupted claim is pending again with its attempt
+    # uncharged — claimable right now, not after a TTL
+    assert broker.leases.live_count() == 0
+    counts = broker.counts()
+    assert counts["leased"] == 0 and counts["dead"] == 0
+    for record in broker.records().values():
+        assert record.state in ("pending", "done")
+        if record.state == "pending":
+            assert record.attempts == 0
+    if counts["pending"]:
+        assert broker.claim("successor") is not None  # no TTL wait
+
+
+def test_submit_streams_progress_through_tcp_service(tmp_path, capsys, monkeypatch):
+    """`submit` pointed at a tcp:// endpoint rides the service protocol:
+    structured submit report, live progress events, exit 0 on drain."""
+    import threading
+    import time
+
+    from repro.fabric.worker import Worker
+    from repro.service.server import ReproService, ServiceThread
+    from tests.test_runner_supervision import fake_result
+
+    specs = _tiny_gridded(monkeypatch)
+    service = ReproService(tmp_path / "broker", durable=False,
+                           poll_interval_s=0.02)
+    thread = ServiceThread(service).start()
+    try:
+        def drain_once_submitted():
+            # wait for the grid to land: a drain-mode worker on a still
+            # empty broker would see drained() and exit before the CLI
+            # even submits
+            deadline = time.monotonic() + 30.0
+            while (service.broker.counts()["total"] < len(specs)
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            Worker(
+                service.broker, execute=fake_result, poll_interval_s=0.01
+            ).run()
+
+        worker = threading.Thread(target=drain_once_submitted)
+        worker.start()
+        code = main(["submit", "mapping", "--broker", thread.address,
+                     "--size", "tiny"])
+        worker.join(30.0)
+    finally:
+        thread.drain(timeout_s=30.0)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"{len(specs)} spec(s): {len(specs)} enqueued" in out
+    assert "grid complete" in out
+
+
+def test_serve_and_grid_commands_validate_endpoints(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["serve", "--broker", "tcp://127.0.0.1:7741"])  # needs a dir
+    with pytest.raises(SystemExit):
+        main(["mapping", "--broker", "tcp://127.0.0.1:7741"])  # grids need a dir

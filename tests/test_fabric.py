@@ -440,3 +440,218 @@ def test_runner_broker_mode_reruns_spec_with_corrupt_cache_entry(tmp_path):
     results = SweepRunner(broker=broker, execute=fake_result).run([spec])
     assert results[0] == fake_result(spec)
     assert broker.cache.get(key) == fake_result(spec)  # repaired on disk
+
+
+# -- lease races and heartbeat lifecycle (robustness satellites) ---------------------
+
+
+def test_concurrent_steal_race_has_exactly_one_winner(tmp_path):
+    """N threads race to steal one expired lease; the rename/create
+    protocol must admit exactly one thief, and the presumed-dead
+    holder's next renew must report the loss."""
+    import threading
+
+    # a long TTL with the victim's lease backdated to already-expired:
+    # a thief's fresh lease then cannot itself lapse mid-race (a tiny
+    # real TTL would let scheduling jitter admit a second, legitimate
+    # steal of the first winner)
+    leases = LeaseManager(tmp_path, ttl_s=30.0)
+    assert leases.try_claim("k1", "victim")
+    assert leases.renew("k1", "victim", ttl_s=-1.0)  # dies retroactively
+    assert leases.expired("k1")
+
+    thieves = 8
+    barrier = threading.Barrier(thieves)
+    wins, errors = [], []
+
+    def steal(name):
+        barrier.wait()
+        try:
+            if leases.try_claim("k1", name):
+                wins.append(name)
+        except Exception as exc:  # a loser must back off, not blow up
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=steal, args=(f"thief-{index}",))
+        for index in range(thieves)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10.0)
+    assert errors == []
+    assert len(wins) == 1, f"steal admitted {len(wins)} winners: {wins}"
+    winner = wins[0]
+    assert leases.holder("k1")[0] == winner
+    # the loser's renew detects the loss instead of clobbering the winner
+    assert leases.renew("k1", "victim") is False
+    assert leases.holder("k1")[0] == winner
+
+
+def test_repeated_steal_races_never_double_grant(tmp_path):
+    """The race above, iterated: across rounds the winner count is
+    always exactly one (exercises different interleavings)."""
+    import threading
+
+    leases = LeaseManager(tmp_path, ttl_s=30.0)
+    for round_index in range(5):
+        key = f"spec-{round_index}"
+        assert leases.try_claim(key, "victim")
+        assert leases.renew(key, "victim", ttl_s=-1.0)  # expire it now
+        barrier = threading.Barrier(4)
+        wins = []
+
+        def steal(name, key=key, barrier=barrier, wins=wins):
+            barrier.wait()
+            if leases.try_claim(key, name):
+                wins.append(name)
+
+        threads = [
+            threading.Thread(target=steal, args=(f"t{round_index}.{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(wins) == 1
+
+
+def test_heartbeat_thread_is_joined_after_each_spec(tmp_path):
+    """The beat daemon must not outlive its spec: after the worker
+    finishes, no lease-heartbeat thread remains and the handle is
+    cleared (a leaked beat would renew a lease nobody holds)."""
+    import threading
+
+    broker = make_broker(tmp_path, lease_ttl_s=0.15)
+    broker.submit(grid(2))
+    worker = make_worker(broker, heartbeat_interval_s=0.03)
+
+    def slow(spec):
+        time.sleep(0.1)
+        return fake_result(spec)
+
+    worker.execute = slow
+    assert worker.run() == 2
+    assert worker._heartbeat_thread is None
+    beats = [
+        t for t in threading.enumerate() if t.name.startswith("lease-heartbeat")
+    ]
+    assert beats == []
+
+
+def test_persistent_renew_failure_surfaces_as_lease_loss(tmp_path):
+    """A renew path that keeps raising (dead mount, ENOSPC, EACCES) is
+    lease loss in progress: the beat thread exits *loudly* — counted in
+    ``heartbeat_errors`` and ``leases_lost`` — and the spec still
+    completes through the idempotent publish path."""
+    broker = make_broker(tmp_path, lease_ttl_s=0.12)
+    spec = grid(1)[0]
+    broker.submit([spec])
+
+    real_renew = broker.leases.renew
+
+    def broken_renew(key, worker, ttl_s=None):
+        raise OSError(28, "No space left on device")
+
+    broker.leases.renew = broken_renew
+    worker = make_worker(broker, heartbeat_interval_s=0.02)
+
+    def slow(spec):
+        time.sleep(0.3)  # enough beats to exhaust the error budget
+        return fake_result(spec)
+
+    worker.execute = slow
+    try:
+        assert worker.run() == 1
+    finally:
+        broker.leases.renew = real_renew
+    assert worker.heartbeat_errors >= Worker.HEARTBEAT_ERROR_BUDGET
+    assert worker.leases_lost == 1
+    assert worker.completed == 1  # execution finished and published anyway
+    assert broker.cache.get(spec.cache_key()) == fake_result(spec)
+
+
+def test_transient_renew_hiccup_does_not_lose_the_lease(tmp_path):
+    """One failed renew write inside the error budget heals on the next
+    beat: no lease loss is declared."""
+    broker = make_broker(tmp_path, lease_ttl_s=0.3)
+    spec = grid(1)[0]
+    broker.submit([spec])
+
+    real_renew = broker.leases.renew
+    calls = {"n": 0}
+
+    def flaky_renew(key, worker, ttl_s=None):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise OSError("transient hiccup")
+        return real_renew(key, worker, ttl_s=ttl_s)
+
+    broker.leases.renew = flaky_renew
+    worker = make_worker(broker, heartbeat_interval_s=0.03)
+
+    def slow(spec):
+        time.sleep(0.25)
+        return fake_result(spec)
+
+    worker.execute = slow
+    try:
+        assert worker.run() == 1
+    finally:
+        broker.leases.renew = real_renew
+    assert calls["n"] >= 2  # the beat retried after the hiccup
+    assert worker.heartbeat_errors == 1
+    assert worker.leases_lost == 0
+
+
+def test_relinquish_returns_claim_to_queue_uncharged(tmp_path):
+    """Graceful drain: a relinquished claim goes straight back to
+    ``pending`` with its attempt uncharged and no backoff stamp, so the
+    next claimer picks it up immediately."""
+    broker = make_broker(tmp_path, lease_ttl_s=30.0)
+    spec = grid(1)[0]
+    key = spec.cache_key()
+    broker.submit([spec])
+    record = broker.claim("drainee")
+    assert record is not None and record.attempts == 1
+
+    assert broker.relinquish(key, "drainee", reason="sigterm drain") is True
+    record = broker.records()[key]
+    assert record.state == "pending"
+    assert record.attempts == 0  # uncharged: this was not a failure
+    assert record.not_before == 0.0  # immediately claimable
+    assert "sigterm drain" in record.error
+    # no TTL wait: another worker claims right away despite the 30s TTL
+    stolen = broker.claim("successor")
+    assert stolen is not None and stolen.key == key
+
+
+def test_relinquish_is_refused_for_non_holders_and_settled_specs(tmp_path):
+    broker = make_broker(tmp_path, lease_ttl_s=30.0)
+    spec = grid(1)[0]
+    key = spec.cache_key()
+    broker.submit([spec])
+    assert broker.relinquish(key, "nobody") is False  # pending, unclaimed
+    broker.claim("holder")
+    assert broker.relinquish(key, "impostor") is False  # not the holder
+    assert broker.records()[key].state == "leased"  # untouched
+    broker.complete(key, "holder")
+    assert broker.relinquish(key, "holder") is False  # already settled
+    assert broker.records()[key].state == "done"
+
+
+def test_worker_relinquish_current_hands_back_in_flight_claim(tmp_path):
+    broker = make_broker(tmp_path, lease_ttl_s=30.0)
+    spec = grid(1)[0]
+    key = spec.cache_key()
+    broker.submit([spec])
+    worker = make_worker(broker)
+    record = broker.claim(worker.worker_id)
+    worker.current_key = record.key  # as _execute_claimed would set
+
+    assert worker.relinquish_current(reason="drained by signal 15") is True
+    assert worker.current_key is None
+    assert broker.records()[key].state == "pending"
+    assert worker.relinquish_current() is False  # idempotent: nothing left

@@ -1,0 +1,112 @@
+"""Property-style suite for the torn-tail JSONL contract.
+
+The whole fabric leans on one invariant of :func:`repro.fsio.read_json_lines`:
+a crash may tear the *tail* of an append-only JSONL file at any byte,
+and replaying the file must yield **exactly the prefix of records whose
+append fully committed** — never an exception, never a mangled record,
+never a record out of order.  This suite proves it exhaustively: the
+file is truncated at *every* byte offset and the decoded result is
+compared against the analytically expected prefix.
+
+(The deeper reason the property holds: every record is one
+``json.dumps`` object per line, and no proper byte-prefix of a JSON
+object is itself valid JSON — the closing brace is always missing — so
+a torn line can only ever parse as *nothing*, not as a wrong record.)
+"""
+
+import json
+
+import pytest
+
+from repro.fsio import append_line, read_json_lines
+
+
+def _records(count):
+    """Journal-shaped records with varied value shapes (strings,
+    numbers, nesting, unicode) to stress the parse boundary."""
+    return [
+        {
+            "key": f"spec-{index:04d}",
+            "state": ["pending", "leased", "done", "dead"][index % 4],
+            "attempts": index,
+            "not_before": index * 0.25,
+            "worker": f"host-{index}-é中",
+            "extra": {"nested": [index, None, True], "t": index % 2 == 0},
+        }
+        for index in range(count)
+    ]
+
+
+def _write_jsonl(path, records):
+    """Append each record the way the journal does; return, per record,
+    the byte offset at which its line is fully decodable (the closing
+    byte of its JSON text — the newline is *not* required)."""
+    commit_offsets = []
+    offset = 0
+    for record in records:
+        line = json.dumps(record, sort_keys=True, ensure_ascii=False)
+        append_line(path, line, durable=False)
+        encoded = line.encode("utf-8")
+        commit_offsets.append(offset + len(encoded))
+        offset += len(encoded) + 1  # the newline append_line adds
+    assert path.stat().st_size == offset
+    return commit_offsets
+
+
+def test_truncation_at_every_byte_yields_exact_prefix(tmp_path):
+    """The exhaustive property: for every cut point 0..filesize, the
+    decoded records are exactly the committed prefix."""
+    records = _records(12)
+    source = tmp_path / "journal.jsonl"
+    commit_offsets = _write_jsonl(source, records)
+    blob = source.read_bytes()
+
+    torn = tmp_path / "torn.jsonl"
+    for cut in range(len(blob) + 1):
+        torn.write_bytes(blob[:cut])
+        expected = sum(1 for off in commit_offsets if off <= cut)
+        decoded = list(read_json_lines(torn))  # must never raise
+        assert decoded == records[:expected], (
+            f"cut at byte {cut}: expected the first {expected} records"
+        )
+
+
+def test_truncation_mid_multibyte_character_is_not_fatal(tmp_path):
+    """A cut inside a UTF-8 multibyte sequence (the nastiest torn tail)
+    decodes to the intact prefix, not a crash."""
+    records = _records(3)
+    source = tmp_path / "journal.jsonl"
+    _write_jsonl(source, records)
+    blob = source.read_bytes()
+    # find a continuation byte (0b10xxxxxx) to cut right before
+    cuts = [i for i, b in enumerate(blob) if b & 0xC0 == 0x80]
+    assert cuts, "fixture must contain multibyte characters"
+    torn = tmp_path / "torn.jsonl"
+    for cut in cuts:
+        torn.write_bytes(blob[:cut])
+        decoded = list(read_json_lines(torn))
+        assert decoded == records[: len(decoded)]
+        assert len(decoded) < len(records)
+
+
+def test_missing_and_empty_files_decode_to_nothing(tmp_path):
+    assert list(read_json_lines(tmp_path / "never-written.jsonl")) == []
+    empty = tmp_path / "empty.jsonl"
+    empty.write_bytes(b"")
+    assert list(read_json_lines(empty)) == []
+
+
+@pytest.mark.parametrize("garbage", [b"\x00\xff\xfe", b"{", b'{"key": ', b"null\n"])
+def test_leading_garbage_never_breaks_later_records(tmp_path, garbage):
+    """A torn fragment *followed by* healthy appends (crash, then the
+    next writer appended anyway) yields the healthy records."""
+    records = _records(2)
+    path = tmp_path / "journal.jsonl"
+    path.write_bytes(garbage + b"\n")
+    for record in records:
+        append_line(
+            path,
+            json.dumps(record, sort_keys=True, ensure_ascii=False),
+            durable=False,
+        )
+    assert list(read_json_lines(path)) == records

@@ -1,0 +1,201 @@
+"""NetBroker suite: the socket WorkBroker proxy for shared-nothing
+farms, and its degradation to direct file-broker mode when the service
+endpoint dies mid-sweep."""
+
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.experiments.runner import SweepRunner
+from repro.fabric import faultpoints
+from repro.fabric.broker import BrokerConfig, WorkBroker
+from repro.fabric.netbroker import NetBroker
+from repro.fabric.worker import Worker
+from repro.results_cache import ResultsCache
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.server import ReproService, ServiceThread
+from tests.test_fabric import grid
+from tests.test_results_cache import fake_result
+
+
+@pytest.fixture(autouse=True)
+def _clean_faultpoints():
+    faultpoints.reset()
+    yield
+    faultpoints.reset()
+
+
+@contextlib.contextmanager
+def serve(tmp_path, **service_kwargs):
+    service_kwargs.setdefault(
+        "config", BrokerConfig(lease_ttl_s=5.0, backoff_s=0.01)
+    )
+    service_kwargs.setdefault("durable", False)
+    service_kwargs.setdefault("poll_interval_s", 0.02)
+    service = ReproService(tmp_path / "broker", **service_kwargs)
+    thread = ServiceThread(service).start()
+    try:
+        yield service, thread
+    finally:
+        thread.drain(timeout_s=30.0)
+
+
+def netbroker(thread, **kwargs):
+    kwargs.setdefault("backoff_s", 0.01)
+    kwargs.setdefault("backoff_cap_s", 0.05)
+    return NetBroker(thread.address, **kwargs)
+
+
+def test_worker_over_socket_drains_grid_byte_identical(tmp_path):
+    """The tentpole end-to-end: submit over the socket, execute through
+    a NetBroker-backed worker, and the shared cache is byte-identical to
+    a serial in-process run — the exactly-once bar."""
+    specs = grid(6)
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        assert client.submit(specs)["report"]["enqueued"] == 6
+        broker = netbroker(thread)
+        assert broker.config.lease_ttl_s == 5.0  # farm policy from hello
+        worker = Worker(broker, execute=fake_result, poll_interval_s=0.01)
+        assert worker.run() == 6
+        assert worker.completed == 6 and worker.leases_lost == 0
+        assert broker.drained()
+        assert broker.counts()["done"] == 6
+        assert not broker.degraded
+        broker.close()
+        client.close()
+
+        serial = SweepRunner(
+            jobs=1, cache=ResultsCache(tmp_path / "serial"), execute=fake_result
+        )
+        serial.run(specs)
+        for spec in specs:
+            key = spec.cache_key()
+            assert service.broker.cache.path_for(key).read_bytes() == (
+                serial.cache.path_for(key).read_bytes()
+            )
+        assert service.broker.leases.live_count() == 0
+
+
+def test_netbroker_cache_roundtrips_results_over_the_wire(tmp_path):
+    spec = grid(1)[0]
+    key = spec.cache_key()
+    with serve(tmp_path) as (service, thread):
+        broker = netbroker(thread)
+        assert broker.cache.get(key) is None
+        broker.cache.put(key, fake_result(spec), spec=spec.to_json_dict())
+        assert broker.cache.get(key) == fake_result(spec)
+        # the payload really crossed the socket into the server's store
+        assert service.broker.cache.get(key) == fake_result(spec)
+        broker.close()
+
+
+def test_netbroker_heartbeats_use_a_dedicated_connection(tmp_path):
+    """Lease renews must not interleave with main-thread RPC frames —
+    they run on their own client/socket."""
+    with serve(tmp_path) as (service, thread):
+        broker = netbroker(thread)
+        spec = grid(1)[0]
+        broker.submit([spec])
+        record = broker.claim("w1")
+        assert record is not None
+        assert broker.leases.renew(record.key, "w1") is True
+        assert broker._lease_client._sock is not None
+        assert broker._lease_client._sock is not broker.client._sock
+        broker.close()
+
+
+def test_netbroker_without_fallback_surfaces_unavailable(tmp_path):
+    dead = NetBroker(
+        "tcp://127.0.0.1:1", retries=1, backoff_s=0.01, backoff_cap_s=0.02
+    )
+    with pytest.raises(ServiceUnavailable):
+        dead.claim("w1")
+    assert not dead.degraded
+    dead.close()
+
+
+def test_netbroker_degrades_to_file_broker_when_endpoint_dies(tmp_path):
+    """Mid-sweep server death with a shared filesystem: the netbroker
+    flips to a direct WorkBroker on the fallback root and the sweep
+    finishes without losing the claim it held."""
+    specs = grid(4)
+    root = tmp_path / "broker"
+    with serve(tmp_path) as (service, thread):
+        broker = netbroker(thread, fallback_root=str(root), retries=2)
+        broker.submit(specs)
+        first = broker.claim("w1")  # claimed over the socket
+        assert first is not None and not broker.degraded
+        thread.drain(timeout_s=30.0)  # the endpoint dies mid-sweep
+
+        # outcome for the in-flight claim arrives via the fallback path
+        spec_by_key = {spec.cache_key(): spec for spec in specs}
+        broker.cache.put(first.key, fake_result(spec_by_key[first.key]))
+        assert broker.complete(first.key, "w1") is True
+        assert broker.degraded
+
+        worker = Worker(broker, execute=fake_result, poll_interval_s=0.01)
+        worker.run()
+        assert broker.drained()
+        counts = broker.counts()
+        assert counts["done"] == 4 and counts["dead"] == 0
+        assert WorkBroker(root).leases.live_count() == 0
+        broker.close()
+
+
+def test_degraded_netbroker_stays_on_file_mode(tmp_path):
+    """Degradation is one-way: once flipped, ops keep using the file
+    broker even for fresh claims (no flapping back to a dead socket)."""
+    root = tmp_path / "broker"
+    WorkBroker(root, config=BrokerConfig(lease_ttl_s=5.0)).submit(grid(2))
+    broker = NetBroker(
+        "tcp://127.0.0.1:1", fallback_root=str(root),
+        retries=1, backoff_s=0.01, backoff_cap_s=0.02,
+    )
+    record = broker.claim("w1")  # first op degrades and then succeeds
+    assert broker.degraded and record is not None
+    assert broker.complete(record.key, "w1") is True
+    assert broker.claim("w1") is not None  # still served, no socket
+    broker.close()
+
+
+def test_worker_sweep_survives_server_death_with_fallback(tmp_path):
+    """A full worker loop running while the server drains away: every
+    spec still lands done, exactly once."""
+    specs = grid(5)
+    root = tmp_path / "broker"
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        client.submit(specs)
+        client.close()
+        broker = netbroker(thread, fallback_root=str(root), retries=2)
+
+        finished = threading.Event()
+
+        def slow_enough(spec):
+            time.sleep(0.05)
+            return fake_result(spec)
+
+        worker = Worker(broker, execute=slow_enough, poll_interval_s=0.01)
+
+        def run_worker():
+            worker.run()
+            finished.set()
+
+        runner = threading.Thread(target=run_worker)
+        runner.start()
+        deadline = time.monotonic() + 20.0
+        while worker.completed < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        thread.drain(timeout_s=30.0)  # kill the endpoint mid-sweep
+        assert finished.wait(30.0)
+        runner.join(10.0)
+
+        assert broker.degraded
+        counts = WorkBroker(root).counts()
+        assert counts["done"] == 5 and counts["total"] == 5
+        for spec in specs:
+            assert service.broker.cache.get(spec.cache_key()) == fake_result(spec)
+        broker.close()

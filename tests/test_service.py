@@ -1,0 +1,419 @@
+"""Service-layer suite: admission control, deadlines, idempotent
+submits, graceful drain, and stream resume for ``dimmlink-repro serve``.
+
+Every test runs a real :class:`~repro.service.server.ReproService` on an
+ephemeral port (via :class:`ServiceThread`) and drives it with the real
+:class:`~repro.service.client.ServiceClient` — no mocked sockets, so the
+framing, retry, and flow-control paths are the ones production runs.
+"""
+
+import contextlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.fabric import faultpoints
+from repro.fabric.broker import BrokerConfig
+from repro.fabric.worker import Worker
+from repro.service import protocol
+from repro.service.client import ServiceBusy, ServiceClient
+from repro.service.server import ReproService, ServiceThread, grid_id_for
+from tests.test_fabric import grid
+from tests.test_results_cache import fake_result
+
+
+@pytest.fixture(autouse=True)
+def _clean_faultpoints():
+    faultpoints.reset()
+    yield
+    faultpoints.reset()
+
+
+@contextlib.contextmanager
+def serve(tmp_path, **service_kwargs):
+    service_kwargs.setdefault(
+        "config", BrokerConfig(lease_ttl_s=5.0, backoff_s=0.01)
+    )
+    service_kwargs.setdefault("durable", False)
+    service_kwargs.setdefault("poll_interval_s", 0.02)
+    service = ReproService(tmp_path / "broker", **service_kwargs)
+    thread = ServiceThread(service).start()
+    try:
+        yield service, thread
+    finally:
+        thread.drain(timeout_s=30.0)
+
+
+def drain_with_worker(service, specs):
+    """Run the grid to done through the broker (same-process worker)."""
+    worker = Worker(service.broker, execute=fake_result, poll_interval_s=0.01)
+    worker.run()
+    return worker
+
+
+# -- admission control ---------------------------------------------------------------
+
+
+def test_submit_beyond_live_bound_is_structured_busy(tmp_path):
+    with serve(tmp_path, max_live_specs=6) as (service, thread):
+        client = ServiceClient(thread.address)
+        first = grid(3)
+        second = [g for g in grid(6) if g not in first]  # seeds 3..5
+        third = [
+            type(first[0])(config="4D-2C", workload="pagerank",
+                           size="tiny", seed=seed)
+            for seed in (100, 101, 102)
+        ]
+        assert client.submit(first)["report"]["enqueued"] == 3
+        assert client.submit(second)["report"]["enqueued"] == 3  # at bound
+        with pytest.raises(ServiceBusy) as excinfo:
+            client.submit(third)
+        assert excinfo.value.code == protocol.BUSY
+        assert excinfo.value.reply["live"] == 6
+        assert excinfo.value.reply["limit"] == 6
+        assert float(excinfo.value.reply["retry_after_s"]) > 0
+        # the rejected grid journaled NOTHING: no partial admission
+        assert client.counts()["total"] == 6
+        client.close()
+
+
+def test_submit_storm_sheds_load_without_dropping_accepted_work(tmp_path):
+    """A concurrent submit storm beyond the admission bound: every
+    accepted grid is fully journaled, every rejection is a structured
+    BUSY, and accepted + rejected == storm size (nothing vanished)."""
+    storm, per_grid = 10, 2
+    with serve(tmp_path, max_live_specs=8) as (service, thread):
+        outcomes = []
+
+        def submitter(index):
+            specs = [
+                type(grid(1)[0])(config="4D-2C", workload="pagerank",
+                                 size="tiny", seed=1000 * index + i)
+                for i in range(per_grid)
+            ]
+            client = ServiceClient(thread.address, busy_budget_s=0.0)
+            try:
+                reply = client.submit(specs)
+                outcomes.append(("accepted", reply["report"]["enqueued"]))
+            except ServiceBusy as busy:
+                outcomes.append(("busy", busy.code))
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=submitter, args=(index,))
+            for index in range(storm)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+
+        assert len(outcomes) == storm
+        accepted = [o for o in outcomes if o[0] == "accepted"]
+        rejected = [o for o in outcomes if o[0] == "busy"]
+        assert rejected, "the storm must overrun the admission bound"
+        assert all(code == protocol.BUSY for _, code in rejected)
+        # accepted work is never dropped: every admitted spec is live
+        probe = ServiceClient(thread.address)
+        total = probe.counts()["total"]
+        probe.close()
+        assert total == sum(count for _, count in accepted)
+        assert total <= 8 + per_grid  # bound honored (one grid of slack)
+
+
+def test_submit_waiting_line_bound_rejects_immediately(tmp_path):
+    with serve(tmp_path, max_submit_waiters=0) as (service, thread):
+        client = ServiceClient(thread.address, busy_budget_s=0.0)
+        with pytest.raises(ServiceBusy):
+            client.submit(grid(1))
+        client.close()
+
+
+def test_busy_budget_waits_out_flow_control(tmp_path):
+    """A client given a busy budget retries after ``retry_after_s`` and
+    lands the submit once capacity frees up."""
+    with serve(tmp_path, max_live_specs=2) as (service, thread):
+        client = ServiceClient(thread.address, busy_budget_s=10.0)
+        blockers = grid(2)
+        client.submit(blockers)
+        free = threading.Timer(
+            0.3, lambda: drain_with_worker(service, blockers)
+        )
+        free.start()
+        try:
+            late = [
+                type(blockers[0])(config="4D-2C", workload="pagerank",
+                                  size="tiny", seed=77)
+            ]
+            reply = client.submit(late)  # BUSY at first, admitted after
+            assert reply["report"]["enqueued"] == 1
+        finally:
+            free.join()
+            client.close()
+
+
+# -- idempotency ---------------------------------------------------------------------
+
+
+def test_resubmit_never_double_enqueues(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        specs = grid(4)
+        first = client.submit(specs)["report"]
+        assert first["enqueued"] == 4
+        again = client.submit(specs)["report"]
+        assert again["enqueued"] == 0
+        assert again["inflight"] == 4
+        assert client.counts()["total"] == 4
+        # and after completion a resubmit reports done, still no growth
+        drain_with_worker(service, specs)
+        done = client.submit(specs)["report"]
+        assert done["enqueued"] == 0
+        assert done["done"] + done["cached"] == 4
+        assert client.counts()["total"] == 4
+        client.close()
+
+
+def test_client_retry_after_torn_reply_does_not_double_enqueue(tmp_path):
+    """The ambiguous-failure case idempotency exists for: the submit is
+    journaled but the reply frame never arrives (server drops the
+    connection mid-reply); the client's automatic retry must fold into
+    the already-journaled grid."""
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(
+            thread.address, retries=4, backoff_s=0.01, backoff_cap_s=0.05
+        )
+        specs = grid(3)
+        reply = client.submit(specs)
+        assert reply["report"]["enqueued"] == 3
+        client.close()  # the reply "was lost": retry on a fresh connection
+        retry = client.submit(specs)["report"]
+        assert retry["enqueued"] == 0 and retry["inflight"] == 3
+        assert client.counts()["total"] == 3
+        client.close()
+
+
+# -- deadlines -----------------------------------------------------------------------
+
+
+def test_deadline_bounds_the_lease_ttl_at_claim(tmp_path):
+    """config TTL is 5s; a 0.5s request deadline must shorten the lease
+    so the farm never holds work for a client that gave up."""
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        spec = grid(1)[0]
+        client.submit([spec], deadline_s=0.5)
+        reply = client.call("claim", worker="w-deadline")
+        assert reply["record"]["key"] == spec.cache_key()
+        assert reply["lease_ttl_s"] is not None
+        assert float(reply["lease_ttl_s"]) <= 0.5
+        holder, expires = service.broker.leases.holder(spec.cache_key())
+        assert holder == "w-deadline"
+        assert expires - time.time() <= 0.6  # not the 5s config TTL
+        client.close()
+
+
+def test_lapsed_deadline_quarantines_pending_spec(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        specs = grid(2)
+        client.submit(specs, deadline_s=0.1)
+        time.sleep(0.25)
+        # the next claim sweeps overdue pendings into quarantine
+        assert client.call("claim", worker="late")["record"] is None
+        counts = client.counts()
+        assert counts["dead"] == 2 and counts["pending"] == 0
+        records = service.broker.records()
+        for spec in specs:
+            assert "deadline" in records[spec.cache_key()].error
+        client.close()
+
+
+def test_renew_respects_deadline_bound(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        spec = grid(1)[0]
+        key = spec.cache_key()
+        client.submit([spec], deadline_s=0.8)
+        client.call("claim", worker="w1")
+        assert client.call("renew", key=key, worker="w1")["renewed"] is True
+        _, expires = service.broker.leases.holder(key)
+        assert expires - time.time() <= 0.9
+        client.close()
+
+
+# -- graceful drain ------------------------------------------------------------------
+
+
+def test_drain_persists_manifest_and_holds_no_leases(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        specs = grid(3)
+        reply = client.submit(specs, deadline_s=60.0)
+        grid_id = reply["grid_id"]
+        client.close()
+        thread.drain(timeout_s=30.0)
+
+        manifest = json.loads(service.manifest_path.read_text())
+        assert manifest["drained"] is True
+        assert grid_id in manifest["grids"]
+        assert sorted(manifest["grids"][grid_id]["keys"]) == sorted(
+            spec.cache_key() for spec in specs
+        )
+        assert set(manifest["deadlines"]) == {s.cache_key() for s in specs}
+        assert service.broker.leases.live_count() == 0  # zero orphans
+        # the journal is intact: a successor serves the same queue
+        assert service.broker.counts()["pending"] == 3
+
+
+def test_draining_server_rejects_submits_and_stops_handing_out_work(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address, busy_budget_s=0.0)
+        client.submit(grid(2))
+        service._draining = True  # drain signalled, listener still up
+        with pytest.raises(ServiceBusy) as excinfo:
+            client.submit(grid(4))
+        assert excinfo.value.code == protocol.DRAINING
+        claim = client.call("claim", worker="late")
+        assert claim["record"] is None and claim["draining"] is True
+        service._draining = False  # let the fixture drain cleanly
+        client.close()
+
+
+def test_successor_restores_manifest_grids(tmp_path):
+    specs = grid(3)
+    keys = [spec.cache_key() for spec in specs]
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        client.submit(specs, deadline_s=120.0)
+        drain_with_worker(service, specs)
+        list(client.stream(keys=keys))
+        client.close()
+    # fixture drained; a successor on the same root resumes the grid
+    successor = ReproService(tmp_path / "broker", durable=False)
+    grid_id = grid_id_for(keys)
+    assert grid_id in successor._grids
+    restored = successor._grids[grid_id]
+    assert sorted(restored.keys) == sorted(keys)
+    assert restored.base_seq > 0  # numbering continues, history is gone
+    assert set(successor._deadlines) == set(keys)
+    successor._journal_owner.shutdown(wait=False)
+
+
+# -- progress streams ----------------------------------------------------------------
+
+
+def test_stream_replays_snapshot_specs_and_drained(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        specs = grid(3)
+        keys = [spec.cache_key() for spec in specs]
+        client.submit(specs)
+        drain_with_worker(service, specs)
+        events = list(client.stream(keys=keys))
+        kinds = [event["type"] for event in events]
+        assert kinds[0] == "snapshot"
+        assert kinds[-1] == "drained"
+        assert kinds.count("spec") == 3
+        assert all(
+            event["state"] == "done"
+            for event in events if event["type"] == "spec"
+        )
+        assert events[-1]["counts"]["done"] == 3
+        client.close()
+
+
+def test_stream_resume_from_seq_skips_acked_events(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        specs = grid(4)
+        keys = [spec.cache_key() for spec in specs]
+        client.submit(specs)
+        drain_with_worker(service, specs)
+        full = list(client.stream(keys=keys))
+        client.close()
+        resumed = ServiceClient(thread.address)
+        tail = list(resumed.stream(keys=keys, from_seq=3))
+        assert tail == full[3:]  # byte-for-byte the unacked suffix
+        resumed.close()
+
+
+def test_stream_interrupted_mid_grid_resumes_without_loss(tmp_path):
+    """Cut the subscriber's socket mid-stream; the client reconnects
+    with ``from_seq`` and the concatenated event list is exactly what an
+    uninterrupted subscriber sees — no duplicates, no gaps."""
+    with serve(tmp_path) as (service, thread):
+        submitter = ServiceClient(thread.address)
+        specs = grid(5)
+        keys = [spec.cache_key() for spec in specs]
+        submitter.submit(specs)
+
+        worker_thread = threading.Thread(
+            target=drain_with_worker, args=(service, specs)
+        )
+        client = ServiceClient(
+            thread.address, backoff_s=0.01, backoff_cap_s=0.05
+        )
+        events = []
+        cut = False
+        worker_thread.start()
+        try:
+            for event in client.stream(keys=keys):
+                events.append(event)
+                if not cut and len(events) >= 2:
+                    cut = True
+                    client.close()  # rip the socket out mid-stream
+        finally:
+            worker_thread.join(30.0)
+        assert client.reconnects >= 1  # the cut really happened
+        reference = ServiceClient(thread.address)
+        replay = list(reference.stream(keys=keys))
+        assert events == replay
+        reference.close()
+        submitter.close()
+
+
+def test_subscriber_behind_a_restart_gets_reset_then_tail(tmp_path):
+    """A subscriber resuming against a restarted server (its event log
+    is gone) receives an explicit reset with a counts snapshot, then
+    consistent per-spec events — idempotent reconciliation by key."""
+    specs = grid(3)
+    keys = [spec.cache_key() for spec in specs]
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        client.submit(specs)
+        drain_with_worker(service, specs)
+        list(client.stream(keys=keys))  # history exists pre-restart
+        client.close()
+    with serve(tmp_path) as (successor, thread2):
+        late = ServiceClient(thread2.address)
+        events = list(late.stream(keys=keys, from_seq=0))
+        assert events[0]["type"] == "reset"
+        assert events[0]["counts"]["done"] == 3
+        spec_events = [e for e in events if e["type"] == "spec"]
+        assert {e["key"] for e in spec_events} == set(keys)
+        assert events[-1]["type"] == "drained"
+        late.close()
+
+
+# -- status --------------------------------------------------------------------------
+
+
+def test_status_reports_counts_leases_and_throughput(tmp_path):
+    with serve(tmp_path) as (service, thread):
+        client = ServiceClient(thread.address)
+        specs = grid(2)
+        client.submit(specs)
+        status = client.status()
+        assert status["counts"]["pending"] == 2
+        assert status["draining"] is False
+        assert status["grids"] == 1
+        drain_with_worker(service, specs)
+        list(client.stream(keys=[s.cache_key() for s in specs]))
+        status = client.status()
+        assert status["counts"]["done"] == 2
+        assert status["throughput_per_s"] >= 0.0
+        client.close()

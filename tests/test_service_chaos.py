@@ -1,0 +1,366 @@
+"""Service chaos suite: the network fault points and the exactly-once
+acceptance bar for the socket fabric.
+
+Two families, mirroring ``test_fabric_chaos``:
+
+* **Raise-mode provokers** — every ``net.*`` fault point is armed
+  in-process and driven through a real server + client; the retry
+  discipline must absorb the fault and converge to the same journaled
+  state (no double-enqueue, no double-count, no lost ACK).
+* **Subprocess ``:exit`` chaos** — a real server process and a real
+  netbroker worker process; the armed side hard-exits (``os._exit``, no
+  cleanup) at its nastiest instruction, is restarted, and the sweep must
+  still finish with results byte-identical to a serial in-process run.
+"""
+
+import contextlib
+import os
+import re
+import signal
+import socket as socket_module
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import SweepRunner
+from repro.fabric import faultpoints
+from repro.fabric.broker import BrokerConfig, WorkBroker
+from repro.fabric.faultpoints import InjectedFaultError
+from repro.fabric.netbroker import NetBroker
+from repro.fabric.worker import Worker
+from repro.results_cache import ResultsCache
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService, ServiceThread
+from tests.test_fabric import grid
+from tests.test_results_cache import fake_result
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _clean_faultpoints():
+    faultpoints.reset()
+    yield
+    faultpoints.reset()
+
+
+@contextlib.contextmanager
+def serve(tmp_path, **service_kwargs):
+    service_kwargs.setdefault(
+        "config", BrokerConfig(lease_ttl_s=5.0, backoff_s=0.01)
+    )
+    service_kwargs.setdefault("durable", False)
+    service_kwargs.setdefault("poll_interval_s", 0.02)
+    service = ReproService(tmp_path / "broker", **service_kwargs)
+    thread = ServiceThread(service).start()
+    try:
+        yield service, thread
+    finally:
+        faultpoints.reset()  # never drain with a live fault armed
+        thread.drain(timeout_s=30.0)
+
+
+def fast_client(thread, **kwargs):
+    kwargs.setdefault("timeout_s", 0.4)
+    kwargs.setdefault("retries", 6)
+    kwargs.setdefault("backoff_s", 0.01)
+    kwargs.setdefault("backoff_cap_s", 0.05)
+    return ServiceClient(thread.address, **kwargs)
+
+
+# -- raise-mode provokers ------------------------------------------------------------
+
+
+def _provoke_torn_write(service, thread):
+    """Half a frame reaches the wire, then the sender dies; the peer
+    must treat it as a dropped connection, never act on the half."""
+    client = fast_client(thread)
+    spec = grid(1)[0]
+    client.submit([spec])
+    before = client.counts()
+    faultpoints.arm("net.frame.torn_write", mode="raise")
+    with pytest.raises(InjectedFaultError):
+        client.submit([spec])  # dies mid-send: the request never lands
+    client.close()  # the "restarted" sender comes back on a fresh socket
+    # the torn half-frame journaled nothing and dedup still holds
+    assert client.counts() == before
+    assert client.submit([spec])["report"]["inflight"] == 1
+    client.close()
+
+
+def _provoke_half_open(service, thread):
+    """The server reads a request and never replies; the client's
+    timeout converts the silence into a reconnect-and-retry."""
+    client = fast_client(thread)
+    faultpoints.arm("net.conn.half_open", mode="raise")
+    reply = client.hello()  # first attempt is swallowed silently
+    assert reply["ok"] and reply["server"] == "dimmlink-repro"
+    assert client.reconnects >= 1
+    client.close()
+
+
+def _provoke_drop_ack(service, thread):
+    """A renew is applied server-side but its ACK dies; the retried
+    renew must confirm the lease rather than report it lost."""
+    client = fast_client(thread)
+    spec = grid(1)[0]
+    key = spec.cache_key()
+    client.submit([spec])
+    assert client.call("claim", worker="w1")["record"]["key"] == key
+    faultpoints.arm("net.heartbeat.drop_ack", mode="raise")
+    reply = client.call("renew", key=key, worker="w1")
+    assert reply["renewed"] is True
+    assert service.broker.leases.holder(key)[0] == "w1"
+    client.close()
+
+
+def _provoke_outcome_delayed(service, thread):
+    """The outcome reply is stalled past the client timeout; the
+    idempotent retry converges to exactly one ``done``."""
+    client = fast_client(thread, retries=8)
+    spec = grid(1)[0]
+    key = spec.cache_key()
+    client.submit([spec])
+    client.call("claim", worker="w1")
+    client.call(
+        "cache_put", key=key, result=fake_result(spec).to_json_dict(),
+        spec=spec.to_json_dict(),
+    )
+    faultpoints.arm("net.outcome.delayed", mode="raise")
+    reply = client.call("complete", key=key, worker="w1")
+    assert reply["completed"] is True
+    counts = client.counts([key])
+    assert counts["done"] == 1 and counts["total"] == 1
+    client.close()
+
+
+def _provoke_exit_mid_reply(service, thread):
+    """The transition is journaled, the reply never leaves the server —
+    exactly-once's worst case.  The retry must fold into the already
+    journaled ``done`` without double-counting."""
+    client = fast_client(thread)
+    spec = grid(1)[0]
+    key = spec.cache_key()
+    client.submit([spec])
+    client.call("claim", worker="w1")
+    client.call(
+        "cache_put", key=key, result=fake_result(spec).to_json_dict(),
+        spec=spec.to_json_dict(),
+    )
+    faultpoints.arm("net.server.exit_mid_reply", mode="raise")
+    reply = client.call("complete", key=key, worker="w1")
+    assert reply["completed"] is True
+    counts = client.counts([key])
+    assert counts["done"] == 1 and counts["total"] == 1
+    assert service.broker.leases.live_count() == 0
+    client.close()
+
+
+def _provoke_reconnect_storm(service, thread):
+    """A flapping link tears the connection after every exchange; the
+    jittered backoff keeps each retry independent and the RPCs lossless."""
+    client = fast_client(thread)
+    faultpoints.arm("net.client.reconnect_storm", mode="raise")
+    assert client.hello()["ok"]
+    assert client.reconnects >= 1
+    reconnects = client.reconnects
+    assert client.counts()["total"] == 0  # next RPC works on a fresh conn
+    assert client.reconnects == reconnects  # storm was one-shot
+    client.close()
+
+
+NET_PROVOKE = {
+    "net.frame.torn_write": _provoke_torn_write,
+    "net.conn.half_open": _provoke_half_open,
+    "net.heartbeat.drop_ack": _provoke_drop_ack,
+    "net.outcome.delayed": _provoke_outcome_delayed,
+    "net.server.exit_mid_reply": _provoke_exit_mid_reply,
+    "net.client.reconnect_storm": _provoke_reconnect_storm,
+}
+
+
+def test_every_net_fault_point_has_a_provoker():
+    assert set(NET_PROVOKE) == set(faultpoints.NET_POINTS)
+
+
+@pytest.mark.parametrize("point", faultpoints.NET_POINTS)
+def test_net_fault_point_recovers_in_process(tmp_path, point):
+    with serve(tmp_path) as (service, thread):
+        NET_PROVOKE[point](service, thread)
+
+
+# -- subprocess :exit chaos ----------------------------------------------------------
+
+#: which process hosts each fault point's trip in a real farm.
+ARMED_SIDE = {
+    "net.frame.torn_write": "worker",
+    "net.conn.half_open": "server",
+    "net.heartbeat.drop_ack": "server",
+    "net.outcome.delayed": "server",
+    "net.server.exit_mid_reply": "server",
+    "net.client.reconnect_storm": "worker",
+}
+
+#: worker-armed points self-arm *after* the first completed spec so the
+#: hard exit lands mid-sweep, not at the handshake.
+CHAOS_WORKER_SCRIPT = '''\
+import sys, time
+
+from repro.fabric import faultpoints
+from repro.fabric.netbroker import NetBroker
+from repro.fabric.worker import Worker
+from tests.test_results_cache import fake_result
+
+address, sleep_s, arm_point = sys.argv[1], float(sys.argv[2]), sys.argv[3]
+
+
+def execute(spec):
+    time.sleep(sleep_s)
+    return fake_result(spec)
+
+
+while True:
+    try:
+        broker = NetBroker(
+            address, retries=20, backoff_s=0.05, backoff_cap_s=0.25
+        )
+        if arm_point != "-":
+            journal_complete = broker.complete
+
+            def arming_complete(key, worker):
+                outcome = journal_complete(key, worker)
+                faultpoints.arm(arm_point, mode="exit")
+                return outcome
+
+            broker.complete = arming_complete
+        worker = Worker(broker, execute=execute, poll_interval_s=0.05)
+        worker.run()
+        break
+    except Exception:
+        time.sleep(0.2)  # server restarting: try again from scratch
+'''
+
+
+def _chaos_env(extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src"), str(REPO)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env.pop(faultpoints.ENV_VAR, None)
+    env.update(extra or {})
+    return env
+
+
+def _spawn_server(root, port, fault=None):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", str(root),
+         "--port", str(port), "--lease-ttl", "0.5"],
+        cwd=REPO,
+        env=_chaos_env({faultpoints.ENV_VAR: fault} if fault else None),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"tcp://127\.0\.0\.1:(\d+)", line)
+    assert match, f"server never announced its port: {line!r}"
+    return proc, int(match.group(1))
+
+
+def _spawn_chaos_worker(script, address, sleep_s, arm_point):
+    return subprocess.Popen(
+        [sys.executable, str(script), address, str(sleep_s), arm_point],
+        cwd=REPO,
+        env=_chaos_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+@pytest.mark.parametrize("point", faultpoints.NET_POINTS)
+def test_exit_mode_chaos_recovers_to_byte_identical_results(tmp_path, point):
+    """The acceptance bar: arm each net point in ``:exit`` mode on its
+    natural side, let the armed process die for real, restart it, and
+    the sweep must converge to done with cache files byte-identical to
+    a serial run — exactly once, zero leaked leases."""
+    armed_side = ARMED_SIDE[point]
+    specs = grid(4)
+    root = tmp_path / "broker"
+    file_broker = WorkBroker(
+        root,
+        config=BrokerConfig(retries=5, lease_ttl_s=0.5, backoff_s=0.01,
+                            backoff_cap_s=0.05),
+    )
+    # journal the grid before any socket traffic so even a server that
+    # dies on its first request (half_open) recovers mid-sweep state
+    assert file_broker.submit(specs).enqueued == len(specs)
+
+    script = tmp_path / "chaos_worker.py"
+    script.write_text(CHAOS_WORKER_SCRIPT)
+    server_fault = f"{point}:exit" if armed_side == "server" else None
+    worker_arm = point if armed_side == "worker" else "-"
+
+    server, port = _spawn_server(root, 0, fault=server_fault)
+    address = f"tcp://127.0.0.1:{port}"
+    worker = _spawn_chaos_worker(script, address, 0.35, worker_arm)
+    procs = [server, worker]
+    restarted = {"server": False, "worker": False}
+    crashed = {"server": False, "worker": False}
+    try:
+        deadline = time.monotonic() + 90.0
+        while not file_broker.drained():
+            assert time.monotonic() < deadline, (
+                f"{point}: sweep did not converge; counts="
+                f"{file_broker.counts()} restarted={restarted}"
+            )
+            if server.poll() is not None and not restarted["server"]:
+                assert server.returncode == faultpoints.EXIT_STATUS, (
+                    f"server died with {server.returncode}, not the fault"
+                )
+                crashed["server"] = True
+                restarted["server"] = True
+                server, _ = _spawn_server(root, port, fault=None)
+                procs.append(server)
+            if worker.poll() is not None and not restarted["worker"]:
+                assert worker.returncode == faultpoints.EXIT_STATUS, (
+                    f"worker died with {worker.returncode}, not the fault"
+                )
+                crashed["worker"] = True
+                restarted["worker"] = True
+                worker = _spawn_chaos_worker(script, address, 0.35, "-")
+                procs.append(worker)
+            time.sleep(0.05)
+        # the armed process must actually have died — otherwise the
+        # point never fired and this test proved nothing
+        if not crashed[armed_side]:
+            victim = server if armed_side == "server" else worker
+            assert victim.wait(timeout=30) == faultpoints.EXIT_STATUS
+        assert worker.wait(timeout=30) == 0  # drains and exits cleanly
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    counts = file_broker.counts()
+    assert counts["done"] == len(specs), counts
+    assert counts["total"] == len(specs), counts  # exactly once, no dupes
+    assert counts["dead"] == 0, counts
+    # zero leaked leases once the dust settles
+    time.sleep(0.6)  # one TTL: any orphan from the dead process expires
+    assert file_broker.leases.live_count() == 0
+    # byte-identical to the serial reference
+    serial = SweepRunner(
+        jobs=1, cache=ResultsCache(tmp_path / "serial"), execute=fake_result
+    )
+    serial.run(specs)
+    for spec in specs:
+        key = spec.cache_key()
+        assert file_broker.cache.path_for(key).read_bytes() == (
+            serial.cache.path_for(key).read_bytes()
+        ), f"{point}: result for {key} is not byte-identical"
