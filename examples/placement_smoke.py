@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Placement smoke test: the page-migration ablation end to end.
+
+Drives ``dimmlink-repro placement --size tiny`` the way a user would,
+against a shared results cache, and asserts the placement stack's
+contract:
+
+* the ablation **completes** cold (every policy x workload x mechanism
+  point simulated, table printed) and a warm rerun replays >= 90% of
+  its grid from the cache — ``data_placement``-carrying specs
+  round-trip through the cache keys;
+* the **static shim is byte-identical**: running a paged workload
+  through a static-policy page table produces the same ``RunResult``
+  JSON as the legacy unpaged path, so ``data_placement="static"``
+  cannot perturb any pinned golden number;
+* the **crossover is real**: on the skewed ``hotpage`` pattern every
+  dynamic policy (first-touch, next-touch, profiled) beats the static
+  shard, and next-touch actually migrated pages to get there.
+
+Run:  PYTHONPATH=src python examples/placement_smoke.py [cache-dir]
+
+Exits nonzero (via assert) if any guarantee is violated; used as the CI
+placement-smoke step.
+"""
+
+import json
+import re
+import sys
+import tempfile
+from contextlib import redirect_stdout
+from io import StringIO
+
+from repro.config import SystemConfig
+from repro.experiments.cli import main as cli_main
+from repro.experiments.common import build_workload, threads_for
+from repro.experiments.runner import RunSpec, execute_spec
+from repro.mapping.pagetable import PageTable, make_policy
+from repro.nmp.system import NMPSystem
+
+
+def run_cli(cache_dir: str) -> str:
+    out = StringIO()
+    with redirect_stdout(out):
+        code = cli_main(["placement", "--size", "tiny", "--cache-dir", cache_dir])
+    text = out.getvalue()
+    assert code == 0, f"placement exited {code}:\n{text}"
+    return text
+
+
+def cache_stats(output: str):
+    match = re.search(r"\[cache\] cache\.hits=(\d+) cache\.misses=(\d+)", output)
+    assert match, f"no cache stat line:\n{output}"
+    return int(match.group(1)), int(match.group(2))
+
+
+def assert_static_is_legacy() -> None:
+    """Paged ops + static page table == legacy unpaged run, byte for byte."""
+    config = SystemConfig.named("4D-2C")
+    threads = threads_for(config)
+
+    legacy = build_workload("pagerank", size="tiny")
+    system = NMPSystem(config, idc="mcn")
+    baseline = system.run(
+        legacy.thread_factories(threads, config.num_dimms),
+        workload_name=legacy.name,
+    )
+
+    paged = build_workload("pagerank", size="tiny", paged=True)
+    system = NMPSystem(config, idc="mcn")
+    shimmed = system.run(
+        paged.thread_factories(threads, config.num_dimms),
+        workload_name=paged.name,
+        pagetable=PageTable(make_policy("static"), config.num_dimms),
+    )
+
+    a = json.dumps(baseline.to_json_dict(), sort_keys=True)
+    b = json.dumps(shimmed.to_json_dict(), sort_keys=True)
+    assert a == b, "static page table diverged from the legacy unpaged path"
+    print("static shim: paged + StaticPolicy == legacy run (byte-identical)")
+
+
+def assert_crossover() -> None:
+    """Dynamic placement beats the static shard on the skewed pattern."""
+    times = {}
+    migrations = {}
+    for policy in ("static", "first_touch", "next_touch", "profiled"):
+        spec = RunSpec(
+            config="4D-2C",
+            workload="hotpage",
+            size="tiny",
+            mechanism="mcn",
+            data_placement=policy,
+        )
+        result = execute_spec(spec)
+        times[policy] = result.time_us
+        migrations[policy] = result.stats.sum_suffix("placement.migrations")
+    for policy in ("first_touch", "next_touch", "profiled"):
+        assert times[policy] < times["static"], (
+            f"{policy} ({times[policy]:.1f}us) did not beat "
+            f"static ({times['static']:.1f}us) on hotpage"
+        )
+    assert migrations["next_touch"] > 0, "next-touch never migrated a page"
+    assert migrations["static"] == 0, "static policy must never migrate"
+    print(
+        "crossover: hotpage static "
+        f"{times['static']:.1f}us vs next-touch {times['next_touch']:.1f}us "
+        f"({migrations['next_touch']:.0f} migrations), "
+        f"profiled {times['profiled']:.1f}us"
+    )
+
+
+def main() -> None:
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="placement-smoke-"
+    )
+
+    assert_static_is_legacy()
+    assert_crossover()
+
+    cold = run_cli(cache_dir)
+    hits, misses = cache_stats(cold)
+    assert misses > 0, "cold run simulated nothing"
+    print(f"placement cold: {misses} simulated, {hits} replayed")
+
+    warm = run_cli(cache_dir)
+    hits, misses = cache_stats(warm)
+    print(f"placement warm: {hits} hits / {misses} misses")
+    rate = hits / (hits + misses)
+    assert rate >= 0.90, f"warm cache hit rate {rate:.0%} < 90%"
+
+    strip = lambda text: [
+        line for line in text.splitlines() if "[cache]" not in line
+    ]
+    assert strip(warm) == strip(cold), "warm table differs from cold table"
+    print("placement smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,10 @@ from repro.dram.timing import DRAMTiming
 ADDR_BITS = 42
 #: Cache-line / DRAM-burst granularity.
 LINE_BYTES = 64
+#: Data-placement granularity (OS page, CODA / MultiPIM style).
+PAGE_BYTES = 4096
+#: log2(PAGE_BYTES).
+PAGE_SHIFT = 12
 
 
 class Location(NamedTuple):
@@ -95,3 +99,61 @@ def decode_global(address: int, dimm_bits: int = 5) -> "tuple[int, int]":
         raise ConfigError(f"address {address:#x} outside the 42-bit space")
     offset_bits = ADDR_BITS - dimm_bits
     return address >> offset_bits, address & ((1 << offset_bits) - 1)
+
+
+def _page_index_bits(dimm_bits: int) -> int:
+    bits = ADDR_BITS - dimm_bits - PAGE_SHIFT
+    if bits <= 0:
+        raise ConfigError(f"dimm_bits {dimm_bits} leaves no page-index bits")
+    return bits
+
+
+def page_id(dimm_id: int, page_index: int, dimm_bits: int = 5) -> int:
+    """Pack (home DIMM, page index) into a global page id.
+
+    A page id is simply the top ``ADDR_BITS - PAGE_SHIFT`` bits of the
+    global address of the page's first byte, so the *static* home of a
+    page (where the loader sharded it) is recoverable by
+    :func:`page_home` with pure bit math — no table lookup.
+    """
+    index_bits = _page_index_bits(dimm_bits)
+    if not 0 <= dimm_id < (1 << dimm_bits):
+        raise ConfigError(f"dimm_id {dimm_id} does not fit in {dimm_bits} bits")
+    if not 0 <= page_index < (1 << index_bits):
+        raise ConfigError(
+            f"page_index {page_index} does not fit in {index_bits} bits"
+        )
+    return (dimm_id << index_bits) | page_index
+
+
+def page_home(page: int, dimm_bits: int = 5) -> int:
+    """Static home DIMM of a page (the loader's block shard)."""
+    index_bits = _page_index_bits(dimm_bits)
+    if not 0 <= page < (1 << (ADDR_BITS - PAGE_SHIFT)):
+        raise ConfigError(f"page id {page} outside the page-id space")
+    return page >> index_bits
+
+
+def page_index(page: int, dimm_bits: int = 5) -> int:
+    """Index of a page within its static home DIMM."""
+    index_bits = _page_index_bits(dimm_bits)
+    if not 0 <= page < (1 << (ADDR_BITS - PAGE_SHIFT)):
+        raise ConfigError(f"page id {page} outside the page-id space")
+    return page & ((1 << index_bits) - 1)
+
+
+def page_of(dimm_id: int, offset: int, dimm_bits: int = 5) -> int:
+    """Page id covering byte ``offset`` of DIMM ``dimm_id``."""
+    if offset < 0:
+        raise ConfigError(f"negative address offset {offset}")
+    return page_id(dimm_id, offset >> PAGE_SHIFT, dimm_bits)
+
+
+def page_offset(page: int, dimm_bits: int = 5) -> int:
+    """Local byte offset of the start of ``page`` within its owner DIMM.
+
+    By convention a migrated page keeps its index — the new owner stores
+    it at the same local offset — so this is valid wherever the page
+    currently lives, not just at its static home.
+    """
+    return page_index(page, dimm_bits) << PAGE_SHIFT

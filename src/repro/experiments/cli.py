@@ -86,6 +86,7 @@ from repro.experiments import (
     fig17_topology,
     headline,
     mapping_ablation,
+    placement_ablation,
     resilience,
     table1_bandwidth_model,
     table2_serdes,
@@ -109,6 +110,7 @@ _SIZED: Dict[str, Callable[[str], None]] = {
     "fig17": fig17_topology.main,
     "headline": headline.main,
     "mapping": mapping_ablation.main,
+    "placement": placement_ablation.main,
     "resilience": resilience.main,
 }
 
@@ -135,6 +137,7 @@ _GRIDDED = {
         "fig16": fig16_bandwidth,
         "fig17": fig17_topology,
         "mapping": mapping_ablation,
+        "placement": placement_ablation,
         "resilience": resilience,
     }.items()
     if hasattr(module, "specs")

@@ -26,6 +26,7 @@ from repro.workloads.apsp import BlockedFloydWarshall
 from repro.workloads.base import Workload
 from repro.workloads.bfs import BFS
 from repro.workloads.dlrm import DLRMEmbedding
+from repro.workloads.hotpage import HotPage
 from repro.workloads.hotspot import Hotspot
 from repro.workloads.kmeans import KMeans
 from repro.workloads.nw import NeedlemanWunsch
@@ -71,12 +72,41 @@ _APSP_PRESETS = {
 #: workloads accepting parameter overrides, with their preset tables.
 _PARAMETERIZED = {"dlrm": _DLRM_PRESETS, "apsp": _APSP_PRESETS}
 
+#: hotpage (hot-shard) shapes per size preset.
+_HOTPAGE_PRESETS = {
+    "tiny": dict(rounds=6, private_pages=8, shared_pages=2),
+    "small": dict(rounds=12, private_pages=16, shared_pages=2),
+    "large": dict(rounds=24, private_pages=32, shared_pages=4),
+}
+
+#: streaming R-MAT scales (``pagerank_stream``): tiny stays test-fast,
+#: large crosses 1M vertices — the LiveJournal-scale paging regime the
+#: in-RAM generator cannot reach.
+_STREAM_SCALE = {"tiny": 12, "small": 16, "large": 20}
+
+#: workloads whose op streams can carry page ids (dynamic placement).
+PAGED_WORKLOADS = frozenset(
+    {
+        "bfs",
+        "sssp",
+        "pagerank",
+        "spmv",
+        "pagerank_bc",
+        "sssp_bc",
+        "spmv_bc",
+        "hotspot",
+        "hotpage",
+        "pagerank_stream",
+    }
+)
+
 
 def build_workload(
     name: str,
     size: str = "small",
     seed: int = 42,
     overrides: Optional[Dict[str, object]] = None,
+    paged: bool = False,
 ) -> Workload:
     """Instantiate a Table IV workload at a size preset.
 
@@ -85,9 +115,19 @@ def build_workload(
     keys, and any override on a non-parameterized workload, raise
     :class:`~repro.errors.ConfigError` so a typo can't silently run the
     preset shape.
+
+    ``paged=True`` makes the op streams carry page ids so a page table
+    can resolve (and migrate) their data; only the workloads in
+    :data:`PAGED_WORKLOADS` support it.  Off by default — unpaged ops
+    are byte-identical to the pre-placement-refactor streams.
     """
     if size not in _SIZES:
         raise ConfigError(f"unknown size {size!r}; choose from {_SIZES}")
+    if paged and name not in PAGED_WORKLOADS:
+        raise ConfigError(
+            f"workload {name!r} does not support page-granularity placement; "
+            f"choose from {sorted(PAGED_WORKLOADS)}"
+        )
     if name in _PARAMETERIZED:
         kwargs = dict(_PARAMETERIZED[name][size])
         for key, value in sorted((overrides or {}).items()):
@@ -121,16 +161,29 @@ def build_workload(
         "sssp_bc": lambda: SSSPBC(scale=scale, seed=seed, rounds=iters, byte_scale=bscale),
         "spmv_bc": lambda: SpMVBC(scale=scale, seed=seed, iterations=max(1, iters // 2), byte_scale=bscale),
         "hotspot": lambda: Hotspot(rows=grid, cols=grid, iterations=iters),
+        "hotpage": lambda: HotPage(**_HOTPAGE_PRESETS[size]),
+        "pagerank_stream": lambda: PageRank(
+            scale=_STREAM_SCALE[size],
+            seed=seed,
+            iterations=max(2, iters // 2),
+            byte_scale=1,
+            streaming=True,
+        ),
         "kmeans": lambda: KMeans(points=points, iterations=max(2, iters // 2)),
         "nw": lambda: NeedlemanWunsch(sequence_length=seq, block=128),
         "ts_pow": lambda: TSPow(samples_per_thread=samples, chunks=3 * iters),
     }
     try:
-        return factories[name]()
+        workload = factories[name]()
     except KeyError:
         raise ConfigError(
             f"unknown workload {name!r}; choose from {sorted(factories)}"
         ) from None
+    if name == "pagerank_stream":
+        workload.name = "pagerank_stream"
+    if paged:
+        workload.paged = True
+    return workload
 
 
 def threads_for(config: SystemConfig) -> int:

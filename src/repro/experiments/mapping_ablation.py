@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.report import format_table, geomean
 from repro.config import SystemConfig
 from repro.experiments.common import build_workload, threads_for
+from repro.workloads.base import Workload
 from repro.experiments.runner import RunSpec, SweepRunner, run_specs
 from repro.mapping.placement import (
     cost_table,
@@ -27,7 +28,7 @@ from repro.mapping.placement import (
 from repro.mapping.profile import profile_traffic
 
 #: placement policies compared, in row order.
-POLICIES = ("random", "optimized")
+POLICIES = ("random", "optimized", "natural")
 
 
 def specs(
@@ -75,6 +76,9 @@ def run(
                 threads, config.num_dimms, config.nmp.cores_per_dimm, seed
             ),
             "optimized": distance_aware_placement(traffic, config),
+            "natural": Workload.block_placement(
+                threads, config.num_dimms, config.nmp.cores_per_dimm
+            ),
         }
         row: Dict[str, float] = {}
         for policy in POLICIES:
@@ -89,19 +93,21 @@ def run(
 def main(size: str = "small") -> None:
     """Print the ablation."""
     results = run(size=size)
-    print("Mapping ablation: random initial placement vs Algorithm 1")
+    print("Mapping ablation: random initial placement vs Algorithm 1 vs natural")
     print(
         format_table(
-            ["workload", "random (us)", "optimized (us)", "speedup",
-             "random cost", "optimized cost"],
+            ["workload", "random (us)", "optimized (us)", "natural (us)",
+             "speedup", "random cost", "optimized cost", "natural cost"],
             [
                 (
                     name,
                     row["random_us"],
                     row["optimized_us"],
+                    row["natural_us"],
                     row["speedup"],
                     row["random_cost"],
                     row["optimized_cost"],
+                    row["natural_cost"],
                 )
                 for name, row in results.items()
             ],

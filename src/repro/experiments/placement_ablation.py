@@ -1,0 +1,126 @@
+"""Placement ablation — when does page migration beat routing?
+
+The paper's answer to remote traffic is a faster interconnect (DIMM-Link)
+and smarter *thread* placement (Algorithm 1).  CODA's answer is to move
+the *data*.  This ablation runs both levers against each other over a
+policy x workload x mechanism grid:
+
+* ``static``       — the loader shard; remote traffic is paid every round
+  and only routing (the mechanism) can help.
+* ``first_touch``  — pages land on their first toucher; no steady-state
+  remote traffic, no migration cost (the offline-ideal bound).
+* ``next_touch``   — pages start on the static shard and chase touchers
+  after repeated remote access; pays one ``PAGE_BYTES`` copy per page.
+* ``profiled``     — CODA-style: a profiling pass pre-places each page on
+  its majority toucher.
+
+``hotpage`` (every page on one hot DIMM) is the skew designed to make
+migration win; ``pagerank_stream`` is the realistic LiveJournal-scale
+graph pattern.  On a slow mechanism (``mcn`` host forwarding) migration
+pays off fast; on ``dimm_link`` the crossover needs more re-touches —
+exactly the routing-vs-migration trade the ROADMAP item asks to show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.experiments.runner import RunSpec, SweepRunner, run_specs
+
+#: data-placement policies compared, in row order.
+POLICIES = ("static", "first_touch", "next_touch", "profiled")
+#: skewed microbenchmark + realistic streamed graph.
+WORKLOADS = ("hotpage", "pagerank_stream")
+#: slowest (host-forwarded) and fastest (DL) IDC mechanisms.
+MECHANISMS = ("mcn", "dimm_link")
+
+
+def specs(
+    size: str = "small",
+    config_name: str = "8D-4C",
+    workload_names: Sequence[str] = WORKLOADS,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> List[RunSpec]:
+    """The grid as a flat spec list (workload-major, policy-minor)."""
+    return [
+        RunSpec(
+            config=config_name,
+            workload=workload_name,
+            size=size,
+            mechanism=mechanism,
+            data_placement=policy,
+        )
+        for workload_name in workload_names
+        for mechanism in mechanisms
+        for policy in POLICIES
+    ]
+
+
+def run(
+    size: str = "small",
+    config_name: str = "8D-4C",
+    workload_names: Sequence[str] = WORKLOADS,
+    mechanisms: Sequence[str] = MECHANISMS,
+    runner: Optional[SweepRunner] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per (workload, mechanism): time and migration volume per policy.
+
+    Keys are ``"workload/mechanism"``; each row carries ``{policy}_us``
+    and ``{policy}_migrations`` plus the two headline ratios:
+    ``migration_speedup`` (static vs next-touch — the online policy) and
+    ``best_speedup`` (static vs the best dynamic policy).
+    """
+    grid = specs(size, config_name, workload_names, mechanisms)
+    results = iter(run_specs(grid, runner))
+    out: Dict[str, Dict[str, float]] = {}
+    for workload_name in workload_names:
+        for mechanism in mechanisms:
+            row: Dict[str, float] = {}
+            for policy in POLICIES:
+                result = next(results)
+                row[f"{policy}_us"] = result.time_us
+                row[f"{policy}_migrations"] = result.stats.sum_suffix(
+                    "placement.migrations"
+                )
+            row["migration_speedup"] = row["static_us"] / row["next_touch_us"]
+            row["best_speedup"] = row["static_us"] / min(
+                row[f"{p}_us"] for p in POLICIES[1:]
+            )
+            out[f"{workload_name}/{mechanism}"] = row
+    return out
+
+
+def main(size: str = "small") -> None:
+    """Print the ablation."""
+    results = run(size=size)
+    print("Placement ablation: static shard vs page migration policies")
+    print(
+        format_table(
+            ["workload/mechanism", "static (us)", "first (us)", "next (us)",
+             "profiled (us)", "next migs", "mig speedup", "best speedup"],
+            [
+                (
+                    key,
+                    row["static_us"],
+                    row["first_touch_us"],
+                    row["next_touch_us"],
+                    row["profiled_us"],
+                    row["next_touch_migrations"],
+                    row["migration_speedup"],
+                    row["best_speedup"],
+                )
+                for key, row in results.items()
+            ],
+            precision=2,
+        )
+    )
+    winners = sum(1 for row in results.values() if row["migration_speedup"] > 1.0)
+    print(
+        f"\nnext-touch beats static on {winners}/{len(results)} grid points "
+        "(migration beats routing where re-touch volume amortizes the copy)"
+    )
+
+
+if __name__ == "__main__":
+    main()

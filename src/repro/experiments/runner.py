@@ -65,9 +65,15 @@ from repro.experiments.common import (
 )
 from repro.experiments.deadletter import DeadLetterStore
 from repro.faults import FaultSchedule, LinkDown
+from repro.host.cpu import HostCPUSystem
 from repro.interconnect.topology import Topology
-from repro.mapping.placement import distance_aware_placement, random_placement
-from repro.mapping.profile import profile_traffic
+from repro.mapping.pagetable import DATA_PLACEMENTS, PageTable, make_policy
+from repro.mapping.placement import (
+    co_optimized_placement,
+    distance_aware_placement,
+    random_placement,
+)
+from repro.mapping.profile import profile_traffic, profiled_page_assignment
 from repro.nmp.results import RunResult
 from repro.nmp.system import NMPSystem
 from repro.results_cache import CODE_VERSION, ResultsCache
@@ -146,6 +152,12 @@ class RunSpec:
     #: construction so equal overrides always hash equally; only the
     #: parameterized workloads (``dlrm``, ``apsp``) accept them.
     params: str = ""
+    #: page-granularity data placement policy: ``"static"`` (the legacy
+    #: loader shard, byte-identical to pre-pagetable runs),
+    #: ``"first_touch"``, ``"next_touch"``, or ``"profiled"`` (see
+    #: ``repro.mapping.pagetable``).  Non-static policies require a
+    #: workload in ``PAGED_WORKLOADS`` and an ``nmp`` or ``cpu`` kind.
+    data_placement: str = "static"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -154,6 +166,16 @@ class RunSpec:
             raise ConfigError(
                 f"unknown placement policy {self.placement!r}; "
                 f"choose from {_PLACEMENTS}"
+            )
+        if self.data_placement not in DATA_PLACEMENTS:
+            raise ConfigError(
+                f"unknown data placement {self.data_placement!r}; "
+                f"choose from {DATA_PLACEMENTS}"
+            )
+        if self.data_placement != "static" and self.kind == "optimized":
+            raise ConfigError(
+                "kind='optimized' owns its placement flow; use kind='nmp' "
+                "with placement='optimized' for dynamic data placement"
             )
         if not 0.0 <= self.fault_fraction <= 1.0:
             raise ConfigError(
@@ -168,13 +190,16 @@ class RunSpec:
     def to_json_dict(self) -> Dict[str, object]:
         """All fields, JSON-safe (also the content the cache key hashes).
 
-        An empty ``params`` is omitted so every spec minted before the
-        field existed keeps its exact historical payload — and therefore
-        its cache key.  The golden-key tests pin this.
+        An empty ``params`` and a ``"static"`` ``data_placement`` are
+        omitted so every spec minted before those fields existed keeps
+        its exact historical payload — and therefore its cache key.  The
+        golden-key tests pin this.
         """
         payload = dataclasses.asdict(self)
         if not payload["params"]:
             del payload["params"]
+        if payload["data_placement"] == "static":
+            del payload["data_placement"]
         return payload
 
     def cache_key(self, code_version: int = CODE_VERSION) -> str:
@@ -269,15 +294,62 @@ def build_spec_workload(spec: RunSpec) -> Workload:
             seed=spec.seed,
         )
     overrides = parse_params(spec.params) if spec.params else None
-    return build_workload(spec.workload, spec.size, seed=spec.seed, overrides=overrides)
+    return build_workload(
+        spec.workload,
+        spec.size,
+        seed=spec.seed,
+        overrides=overrides,
+        paged=spec.data_placement != "static",
+    )
+
+
+def build_spec_pagetable(
+    spec: RunSpec,
+    config: SystemConfig,
+    workload: Workload,
+    threads: int,
+    placement: Optional[List[int]],
+) -> Tuple[Optional[List[int]], Optional[PageTable]]:
+    """Build the page table (and possibly a co-optimized thread placement).
+
+    ``placement='optimized'`` + ``data_placement='profiled'`` runs the
+    full co-optimization loop (profile -> MCMF -> page re-placement ->
+    fixed point); plain profiled placement profiles once under the
+    spec's thread placement.  Touch-driven policies need no profiling.
+    """
+    num_dimms = config.num_dimms
+    if spec.data_placement != "profiled":
+        return placement, PageTable(make_policy(spec.data_placement), num_dimms)
+    factories = workload.thread_factories(threads, num_dimms)
+    if spec.kind == "nmp" and spec.placement == "optimized":
+        placement, assignment, _rounds = co_optimized_placement(factories, config)
+    else:
+        base = placement or Workload.block_placement(
+            threads, num_dimms, config.nmp.cores_per_dimm
+        )
+        assignment = profiled_page_assignment(factories, num_dimms, base)
+    policy = make_policy("profiled", assignment=assignment)
+    return placement, PageTable(policy, num_dimms)
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Simulate one spec from scratch (the cache-miss path)."""
     config = build_spec_config(spec)
     workload = build_spec_workload(spec)
+    dynamic = spec.data_placement != "static"
     if spec.kind == "cpu":
-        return run_cpu(config, workload)
+        if not dynamic:
+            return run_cpu(config, workload)
+        threads = threads_for(config)
+        # cpu threads have no DIMM identity; pages chase each thread's
+        # natural block home (see HostCore.home_dimm)
+        homes = [t * config.num_dimms // threads for t in range(threads)]
+        _, pagetable = build_spec_pagetable(spec, config, workload, threads, homes)
+        system = HostCPUSystem(config)
+        factories = workload.thread_factories(threads, config.num_dimms)
+        return system.run(
+            factories, workload_name=workload.name, pagetable=pagetable
+        )
     if spec.kind == "optimized":
         if spec.polling is None:
             return run_optimized(config, workload, sync_mode=spec.sync_mode)
@@ -302,13 +374,25 @@ def execute_spec(spec: RunSpec) -> RunResult:
         placement = random_placement(
             threads, config.num_dimms, config.nmp.cores_per_dimm, spec.placement_seed
         )
-    elif spec.placement == "optimized":
+    elif spec.placement == "optimized" and not (
+        dynamic and spec.data_placement == "profiled"
+    ):
         traffic = profile_traffic(
             workload.thread_factories(threads, config.num_dimms), config.num_dimms
         )
         placement = distance_aware_placement(traffic, config)
+    pagetable: Optional[PageTable] = None
+    if dynamic:
+        placement, pagetable = build_spec_pagetable(
+            spec, config, workload, threads, placement
+        )
     factories = workload.thread_factories(threads, config.num_dimms)
-    return system.run(factories, placement=placement, workload_name=workload.name)
+    return system.run(
+        factories,
+        placement=placement,
+        workload_name=workload.name,
+        pagetable=pagetable,
+    )
 
 
 def _worker_init(parent_sys_path: List[str]) -> None:

@@ -65,6 +65,7 @@ class HostCore(ThreadExecutor):
         index: int,
         compute_scale: float,
         stats: StatRegistry,
+        home_dimm: int = 0,
     ) -> None:
         host = system.config.host
         super().__init__(
@@ -76,11 +77,20 @@ class HostCore(ThreadExecutor):
             compute_scale=compute_scale,
         )
         self.system = system
+        #: the DIMM this thread's block would naturally live on — the
+        #: "toucher" identity page-placement policies see.  The host has
+        #: no locality (every access crosses a channel), but migrating
+        #: toward the toucher still models the OS packing a thread's
+        #:  working set onto one module.
+        self.home_dimm = home_dimm
         self._access_counter = 0
 
     def memory_access(self, op) -> Tuple[Optional[SimEvent], bool]:
         host = self.system.config.host
         is_write = isinstance(op, Write)
+        target, migration = self.resolve_target(op, self.home_dimm)
+        if migration is not None:
+            return self._migrate_then_access(op, target, migration, is_write), False
         self._access_counter += 1
         if not is_write and _deterministic_hit(self._access_counter, host.llc_hit_rate):
             self.stats.add("core.cache_hits")
@@ -89,7 +99,39 @@ class HostCore(ThreadExecutor):
                 ns(host.llc_latency_ns), lambda _arg: hit.succeed(op.nbytes), None
             )
             return hit, False
-        return self.system.memory_request(op.dimm, op.offset, op.nbytes, is_write), False
+        return self.system.memory_request(target, op.offset, op.nbytes, is_write), False
+
+    def _migrate_then_access(
+        self, op, target: int, migration: Tuple[int, int], is_write: bool
+    ) -> SimEvent:
+        """Copy the page across channels (read old, write new), then access."""
+        from repro.dram.address import PAGE_BYTES, page_offset
+
+        src, dst = migration
+        done = self.sim.event(name=f"{self.name}.migrated")
+
+        def proc():
+            begin = self.sim.now
+            trace = self.sim.trace
+            span = (
+                trace.begin(
+                    "placement", "migrate", self.name, page=op.page, src=src, dst=dst
+                )
+                if trace.enabled
+                else None
+            )
+            yield self.system.memory_request(src, page_offset(op.page), PAGE_BYTES, False)
+            yield self.system.memory_request(dst, page_offset(op.page), PAGE_BYTES, True)
+            self.stats.add("placement.migrations")
+            self.stats.add("placement.migrated_bytes", PAGE_BYTES)
+            self.stats.add("placement.migration_ps", self.sim.now - begin)
+            if span is not None:
+                trace.end(span)
+            yield self.system.memory_request(target, op.offset, op.nbytes, is_write)
+            done.succeed(op.nbytes)
+
+        self.sim.process(proc(), name=f"{self.name}.migrate")
+        return done
 
     def broadcast(self, op: Broadcast) -> SimEvent:
         # shared memory: a broadcast is just the producer's single write
@@ -157,16 +199,22 @@ class HostCPUSystem:
         thread_factories: List[Callable[[], Iterator]],
         placement: Optional[List[int]] = None,
         workload_name: str = "kernel",
+        pagetable=None,
     ) -> RunResult:
         """Execute a kernel on the host cores (placement is ignored)."""
         if not thread_factories:
             raise WorkloadError("kernel needs at least one thread")
         num_threads = len(thread_factories)
+        num_dimms = self.config.num_dimms
         compute_scale = max(1.0, num_threads / self.config.host.cores)
         self.barrier = _SoftwareBarrier(self.sim, num_threads)
         processes = []
         for index, factory in enumerate(thread_factories):
-            core = HostCore(self.sim, self, index, compute_scale, self.stats)
+            home = index * num_dimms // num_threads
+            core = HostCore(
+                self.sim, self, index, compute_scale, self.stats, home_dimm=home
+            )
+            core.pagetable = pagetable
             processes.append(core.run_thread(index, factory()))
         start = self.sim.now
         self.sim.run()

@@ -1,22 +1,51 @@
 """Distance-aware task mapping (profiling, cost model, MCMF placement)."""
 
 from repro.mapping.mcmf import MinCostMaxFlow
+from repro.mapping.pagetable import (
+    DATA_PLACEMENTS,
+    FirstTouchPolicy,
+    NextTouchPolicy,
+    PageTable,
+    PlacementPolicy,
+    ProfiledPolicy,
+    StaticPolicy,
+    make_policy,
+)
 from repro.mapping.placement import (
+    co_optimized_placement,
     cost_table,
     distance_aware_placement,
     distance_matrix,
     placement_cost,
     solve_placement,
 )
-from repro.mapping.profile import DEFAULT_PROFILE_FRACTION, profile_traffic
+from repro.mapping.profile import (
+    DEFAULT_PROFILE_FRACTION,
+    majority_assignment,
+    profile_page_traffic,
+    profile_traffic,
+    profiled_page_assignment,
+)
 
 __all__ = [
     "MinCostMaxFlow",
+    "DATA_PLACEMENTS",
+    "FirstTouchPolicy",
+    "NextTouchPolicy",
+    "PageTable",
+    "PlacementPolicy",
+    "ProfiledPolicy",
+    "StaticPolicy",
+    "make_policy",
+    "co_optimized_placement",
     "cost_table",
     "distance_aware_placement",
     "distance_matrix",
     "placement_cost",
     "solve_placement",
     "DEFAULT_PROFILE_FRACTION",
+    "majority_assignment",
+    "profile_page_traffic",
     "profile_traffic",
+    "profiled_page_assignment",
 ]

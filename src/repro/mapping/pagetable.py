@@ -1,0 +1,203 @@
+"""Page-granularity data placement and migration.
+
+The MCMF mapper (Sec. IV-B) places *threads*; this module places *data*.
+A :class:`PageTable` maps page ids (see ``repro.dram.address``) to their
+current owner DIMM under a pluggable :class:`PlacementPolicy`:
+
+- ``static``       — pages live at their loader shard (``page_home``);
+  byte-identical to the pre-pagetable behaviour.
+- ``first_touch``  — a page is owned by the DIMM of the first core that
+  touches it (classic NUMA first-touch).
+- ``next_touch``   — pages start at their static home and migrate to a
+  remote toucher after ``threshold`` consecutive remote touches, up to
+  ``max_migrations`` moves per page (MultiPIM-style next-touch).
+- ``profiled``     — an offline profiling pass (see
+  ``repro.mapping.profile.profiled_page_assignment``) pre-computes the
+  majority toucher of every page; CODA-style compute/data co-location.
+
+The table only *decides*; charging the page copy over the inter-DIMM
+fabric is done by the executors (``nmp/core.py``, ``host/cpu.py``),
+which see the decision as a ``(src, dst)`` migration tuple and issue a
+``PAGE_BYTES`` transfer through the active IDC mechanism before the
+triggering access proceeds.  Resolution is pure bookkeeping — no
+simulated time passes here — so installing a table with the static
+policy leaves event order, and therefore results, untouched.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.dram.address import PAGE_BYTES, page_home
+from repro.errors import ConfigError
+
+#: Placement policy names accepted by :func:`make_policy` and RunSpec.
+DATA_PLACEMENTS = ("static", "first_touch", "next_touch", "profiled")
+
+#: Consecutive remote touches (by one DIMM) before next-touch migrates.
+NEXT_TOUCH_THRESHOLD = 2
+#: Per-page migration cap — bounds ping-pong on genuinely shared pages.
+MAX_MIGRATIONS_PER_PAGE = 4
+
+
+class PlacementPolicy(abc.ABC):
+    """Decides a page's initial owner and when a touch triggers a move."""
+
+    name = "abstract"
+    #: upper bound on moves per page (0 = the policy never migrates).
+    max_migrations = 0
+
+    @abc.abstractmethod
+    def initial_owner(self, page: int, toucher: int) -> int:
+        """Owner assigned when ``page`` is seen for the first time."""
+
+    def migrate_on_touch(self, page: int, owner: int, toucher: int, streak: int) -> bool:
+        """Should this remote touch move the page to ``toucher``?
+
+        ``streak`` counts consecutive touches of ``page`` by ``toucher``
+        with no intervening touch by the current owner or another DIMM.
+        """
+        return False
+
+
+class StaticPolicy(PlacementPolicy):
+    """Loader shard: every page lives at its static home, forever."""
+
+    name = "static"
+
+    def initial_owner(self, page: int, toucher: int) -> int:
+        return page_home(page)
+
+
+class FirstTouchPolicy(PlacementPolicy):
+    """NUMA first-touch: the first toucher's DIMM owns the page."""
+
+    name = "first_touch"
+
+    def initial_owner(self, page: int, toucher: int) -> int:
+        return toucher
+
+
+class NextTouchPolicy(PlacementPolicy):
+    """Start at the static home, chase the toucher after a streak."""
+
+    name = "next_touch"
+
+    def __init__(
+        self,
+        threshold: int = NEXT_TOUCH_THRESHOLD,
+        max_migrations: int = MAX_MIGRATIONS_PER_PAGE,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(f"next-touch threshold {threshold} must be >= 1")
+        if max_migrations < 1:
+            raise ConfigError(f"max_migrations {max_migrations} must be >= 1")
+        self.threshold = threshold
+        self.max_migrations = max_migrations
+
+    def initial_owner(self, page: int, toucher: int) -> int:
+        return page_home(page)
+
+    def migrate_on_touch(self, page: int, owner: int, toucher: int, streak: int) -> bool:
+        return streak >= self.threshold
+
+
+class ProfiledPolicy(PlacementPolicy):
+    """Offline assignment (majority toucher) with static-home fallback."""
+
+    name = "profiled"
+
+    def __init__(self, assignment: Mapping[int, int]) -> None:
+        self.assignment = dict(assignment)
+
+    def initial_owner(self, page: int, toucher: int) -> int:
+        return self.assignment.get(page, page_home(page))
+
+
+def make_policy(
+    name: str, assignment: Optional[Mapping[int, int]] = None
+) -> PlacementPolicy:
+    """Build a policy by RunSpec name (``assignment`` only for profiled)."""
+    if name == "static":
+        return StaticPolicy()
+    if name == "first_touch":
+        return FirstTouchPolicy()
+    if name == "next_touch":
+        return NextTouchPolicy()
+    if name == "profiled":
+        if assignment is None:
+            raise ConfigError("profiled placement needs a page assignment")
+        return ProfiledPolicy(assignment)
+    raise ConfigError(
+        f"unknown data placement {name!r}; expected one of {DATA_PLACEMENTS}"
+    )
+
+
+class PageTable:
+    """Current page → owner-DIMM map, shared by every core of a system.
+
+    :meth:`resolve` is the single entry point: given the page a memory
+    op touches and the DIMM of the touching core, it returns the DIMM
+    that must serve the access plus an optional ``(src, dst)`` pair when
+    the policy decided to migrate the page first.  The caller charges
+    the ``PAGE_BYTES`` copy; the table has already switched ownership.
+    """
+
+    def __init__(self, policy: PlacementPolicy, num_dimms: int) -> None:
+        if num_dimms <= 0:
+            raise ConfigError(f"num_dimms {num_dimms} must be positive")
+        self.policy = policy
+        self.num_dimms = num_dimms
+        self._owners: Dict[int, int] = {}
+        # page -> (last remote toucher, consecutive touches by it)
+        self._streaks: Dict[int, Tuple[int, int]] = {}
+        self._moves: Dict[int, int] = {}
+        self.touches = 0
+        self.remote_touches = 0
+        self.migrations = 0
+
+    @property
+    def migrated_bytes(self) -> int:
+        return self.migrations * PAGE_BYTES
+
+    def owner(self, page: int) -> Optional[int]:
+        """Current owner, or None if the page was never touched/placed."""
+        return self._owners.get(page)
+
+    def resolve(self, page: int, toucher: int) -> Tuple[int, Optional[Tuple[int, int]]]:
+        """Return ``(serving_dimm, migration)`` for one touch.
+
+        ``migration`` is ``None`` for a plain access, or ``(src, dst)``
+        when the page just moved — the access is then served by ``dst``
+        (== the returned owner) after the caller charges the copy.
+        """
+        if not 0 <= toucher < self.num_dimms:
+            raise ConfigError(f"toucher DIMM {toucher} outside 0..{self.num_dimms - 1}")
+        owner = self._owners.get(page)
+        if owner is None:
+            owner = self.policy.initial_owner(page, toucher)
+            if not 0 <= owner < self.num_dimms:
+                raise ConfigError(
+                    f"policy {self.policy.name!r} placed page {page} on DIMM "
+                    f"{owner}, outside 0..{self.num_dimms - 1}"
+                )
+            self._owners[page] = owner
+        self.touches += 1
+        if toucher == owner:
+            self._streaks.pop(page, None)
+            return owner, None
+        self.remote_touches += 1
+        last, count = self._streaks.get(page, (toucher, 0))
+        count = count + 1 if last == toucher else 1
+        self._streaks[page] = (toucher, count)
+        moves = self._moves.get(page, 0)
+        if moves < self.policy.max_migrations and self.policy.migrate_on_touch(
+            page, owner, toucher, count
+        ):
+            self._owners[page] = toucher
+            self._moves[page] = moves + 1
+            self._streaks.pop(page, None)
+            self.migrations += 1
+            return toucher, (owner, toucher)
+        return owner, None

@@ -11,7 +11,7 @@ the paper derives it from profiled inter-DIMM latencies.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -104,3 +104,44 @@ def random_placement(
     slots = [d for d in range(num_dimms) for _ in range(per_dimm)]
     rng.shuffle(slots)
     return slots[:num_threads]
+
+
+def co_optimized_placement(
+    thread_factories: List,
+    config: SystemConfig,
+    threads_per_dimm: Optional[int] = None,
+    max_rounds: int = 4,
+) -> "Tuple[List[int], dict, int]":
+    """Co-optimize thread placement and page placement to a fixed point.
+
+    Alternates the two layers the paper and CODA optimise separately:
+    profile the op streams under the current (thread placement, page
+    assignment), solve Algorithm 1's MCMF for a new thread placement,
+    re-place every profiled page on its majority toucher, and repeat
+    until neither layer changes (or ``max_rounds``).  Returns
+    ``(placement, page_assignment, rounds)``; the assignment seeds a
+    profiled-policy page table so the run starts co-located.
+    """
+    from repro.mapping.profile import majority_assignment, profile_page_traffic
+
+    per_dimm = threads_per_dimm or config.nmp.cores_per_dimm
+    if max_rounds < 1:
+        raise MappingError(f"max_rounds {max_rounds} must be >= 1")
+    num_threads = len(thread_factories)
+    num_dimms = config.num_dimms
+    # start from the natural block placement with pages at their homes
+    placement = [min(i // per_dimm, num_dimms - 1) for i in range(num_threads)]
+    assignment: dict = {}
+    distances = distance_matrix(config)
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        traffic, touches = profile_page_traffic(
+            thread_factories, num_dimms, placement, assignment
+        )
+        new_placement = solve_placement(cost_table(traffic, distances), per_dimm)
+        new_assignment = majority_assignment(touches)
+        if new_placement == placement and new_assignment == assignment:
+            break
+        placement, assignment = new_placement, new_assignment
+    return placement, assignment, rounds

@@ -14,10 +14,11 @@ kernel time (the paper reports 2%-9%).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.dram.address import page_home
 from repro.errors import MappingError
 from repro.workloads.base import ThreadFactory
 from repro.workloads.ops import Read, Write
@@ -53,3 +54,77 @@ def profile_traffic(
                     )
                 table[thread_id, op.dimm] += op.nbytes
     return table
+
+
+def profile_page_traffic(
+    thread_factories: List[ThreadFactory],
+    num_dimms: int,
+    placement: List[int],
+    assignment: Optional[Mapping[int, int]] = None,
+    max_ops_per_thread: Optional[int] = None,
+) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
+    """Placement-aware profile: the M table plus per-page touch counters.
+
+    Like :func:`profile_traffic`, but page-carrying ops are attributed to
+    the DIMM the page would currently live on (``assignment``, falling
+    back to the static home) instead of the op's hard-coded shard, and a
+    per-page histogram of toucher bytes is collected — ``placement[t]``
+    is thread ``t``'s DIMM, the identity a DIMM-side counter bank would
+    see.  The touch histograms are what profile-driven page placement
+    (and the co-optimization loop) aggregate into an assignment.
+    """
+    if not thread_factories:
+        raise MappingError("profiling needs at least one thread")
+    if num_dimms <= 0:
+        raise MappingError("profiling needs at least one DIMM")
+    if len(placement) != len(thread_factories):
+        raise MappingError(
+            f"{len(placement)} placements for {len(thread_factories)} threads"
+        )
+    page_owner: Dict[int, int] = dict(assignment or {})
+    table = np.zeros((len(thread_factories), num_dimms), dtype=np.float64)
+    touches: Dict[int, np.ndarray] = {}
+    for thread_id, factory in enumerate(thread_factories):
+        toucher = placement[thread_id]
+        if not 0 <= toucher < num_dimms:
+            raise MappingError(f"thread {thread_id} placed on unknown DIMM {toucher}")
+        for op_index, op in enumerate(factory()):
+            if max_ops_per_thread is not None and op_index >= max_ops_per_thread:
+                break
+            if not isinstance(op, (Read, Write)):
+                continue
+            page = op.page
+            if page is None:
+                target = op.dimm
+            else:
+                target = page_owner.get(page)
+                if target is None:
+                    target = page_home(page)
+                row = touches.get(page)
+                if row is None:
+                    row = touches[page] = np.zeros(num_dimms, dtype=np.float64)
+                row[toucher] += op.nbytes
+            if not 0 <= target < num_dimms:
+                raise MappingError(
+                    f"thread {thread_id} accesses unknown DIMM {target}"
+                )
+            table[thread_id, target] += op.nbytes
+    return table, touches
+
+
+def majority_assignment(touches: Mapping[int, np.ndarray]) -> Dict[int, int]:
+    """Place each profiled page on its majority toucher (ties: lowest DIMM)."""
+    return {page: int(np.argmax(row)) for page, row in touches.items()}
+
+
+def profiled_page_assignment(
+    thread_factories: List[ThreadFactory],
+    num_dimms: int,
+    placement: List[int],
+    max_ops_per_thread: Optional[int] = None,
+) -> Dict[int, int]:
+    """One profiling pass -> majority-toucher page assignment."""
+    _table, touches = profile_page_traffic(
+        thread_factories, num_dimms, placement, max_ops_per_thread=max_ops_per_thread
+    )
+    return majority_assignment(touches)

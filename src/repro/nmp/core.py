@@ -67,7 +67,10 @@ class NMPCore(ThreadExecutor):
         from repro.workloads.ops import Write
 
         is_write = isinstance(op, Write)
-        is_remote = op.dimm != self.dimm_id
+        target, migration = self.resolve_target(op, self.dimm_id)
+        if migration is not None:
+            return self._migrate_then_access(op, target, migration, is_write), True
+        is_remote = target != self.dimm_id
         if not is_remote and not is_write:
             self._access_counter += 1
             if _deterministic_hit(self._access_counter, self.config.local_hit_rate):
@@ -79,7 +82,46 @@ class NMPCore(ThreadExecutor):
                     None,
                 )
                 return hit, False
-        return self.mc.submit(op.dimm, op.offset, op.nbytes, is_write), is_remote
+        return self.mc.submit(target, op.offset, op.nbytes, is_write), is_remote
+
+    def _migrate_then_access(
+        self, op, target: int, migration: Tuple[int, int], is_write: bool
+    ) -> SimEvent:
+        """Pull the page from its old owner over the IDC, then access it.
+
+        The page table already switched ownership; this charges the
+        ``PAGE_BYTES`` copy (new owner reads the page from the old one
+        through the active IDC mechanism) before the triggering access,
+        which is then served by the new owner — usually locally.
+        """
+        from repro.dram.address import PAGE_BYTES, page_offset
+
+        if self.idc is None:
+            raise RuntimeError(f"{self.name}: core not bound to an IDC mechanism")
+        src, dst = migration
+        done = self.sim.event(name=f"{self.name}.migrated")
+
+        def proc():
+            begin = self.sim.now
+            trace = self.sim.trace
+            span = (
+                trace.begin(
+                    "placement", "migrate", self.name, page=op.page, src=src, dst=dst
+                )
+                if trace.enabled
+                else None
+            )
+            yield self.idc.remote_read(dst, src, page_offset(op.page), PAGE_BYTES)
+            self.stats.add("placement.migrations")
+            self.stats.add("placement.migrated_bytes", PAGE_BYTES)
+            self.stats.add("placement.migration_ps", self.sim.now - begin)
+            if span is not None:
+                trace.end(span)
+            yield self.mc.submit(target, op.offset, op.nbytes, is_write)
+            done.succeed(op.nbytes)
+
+        self.sim.process(proc(), name=f"{self.name}.migrate")
+        return done
 
     def broadcast(self, op: Broadcast) -> SimEvent:
         if self.idc is None:

@@ -43,6 +43,19 @@ class ThreadExecutor(abc.ABC):
         self._pending: Dict[int, Tuple[SimEvent, bool]] = {}
         self._next_id = 0
         self._outstanding_remote = 0
+        #: optional shared page table (repro.mapping.pagetable.PageTable);
+        #: None keeps the legacy static-shard addressing untouched.
+        self.pagetable = None
+
+    def resolve_target(self, op, toucher: int) -> Tuple[int, Optional[Tuple[int, int]]]:
+        """Serving DIMM for a Read/Write, plus a pending page migration.
+
+        Without a page table (or for ops that carry no page id) this is
+        exactly the legacy behaviour: the op's static ``dimm``.
+        """
+        if self.pagetable is None or op.page is None:
+            return op.dimm, None
+        return self.pagetable.resolve(op.page, toucher)
 
     # -- hooks ----------------------------------------------------------------
 

@@ -112,8 +112,14 @@ class NMPSystem:
         thread_factories: List[ThreadFactory],
         placement: Optional[List[int]] = None,
         workload_name: str = "kernel",
+        pagetable=None,
     ) -> RunResult:
-        """Execute one kernel: one op stream per thread, placed on DIMMs."""
+        """Execute one kernel: one op stream per thread, placed on DIMMs.
+
+        ``pagetable`` (a :class:`repro.mapping.pagetable.PageTable`) is
+        shared by every core; paged ops then resolve — and possibly
+        migrate — through it.  ``None`` keeps static-shard addressing.
+        """
         if not thread_factories:
             raise WorkloadError("kernel needs at least one thread")
         if placement is None:
@@ -133,6 +139,7 @@ class NMPSystem:
             core = self.dimms[dimm_id].cores[core_cursor[dimm_id]]
             core_cursor[dimm_id] += 1
             core.bind(self.idc, sync)
+            core.pagetable = pagetable
             processes.append(core.run_thread(thread_id, factory()))
         start = self.sim.now
         self.sim.run()

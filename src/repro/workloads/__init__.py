@@ -4,8 +4,18 @@ from repro.workloads.apsp import BlockedFloydWarshall
 from repro.workloads.base import ThreadFactory, Workload
 from repro.workloads.bfs import BFS
 from repro.workloads.dlrm import DLRMEmbedding
-from repro.workloads.graph import Graph, cross_partition_edges, from_edges, owner_of, partition_bounds, rmat
+from repro.workloads.graph import (
+    Graph,
+    StreamedRMAT,
+    cross_partition_edges,
+    from_edges,
+    owner_of,
+    partition_bounds,
+    rmat,
+    rmat_stream,
+)
 from repro.workloads.graphkernels import GraphKernel, data_dimm, natural_homes
+from repro.workloads.hotpage import HotPage
 from repro.workloads.hotspot import Hotspot
 from repro.workloads.kmeans import KMeans
 from repro.workloads.microbench import BulkTransfer, SyncInterval, UniformRandom
@@ -23,14 +33,17 @@ __all__ = [
     "BlockedFloydWarshall",
     "DLRMEmbedding",
     "Graph",
+    "StreamedRMAT",
     "cross_partition_edges",
     "from_edges",
     "owner_of",
     "partition_bounds",
     "rmat",
+    "rmat_stream",
     "GraphKernel",
     "data_dimm",
     "natural_homes",
+    "HotPage",
     "Hotspot",
     "KMeans",
     "BulkTransfer",

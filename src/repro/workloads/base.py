@@ -10,9 +10,10 @@ are *placed*, which is exactly the knob distance-aware task mapping turns.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterator, List
+from typing import Callable, Iterator, List, Optional
 
 from repro.errors import WorkloadError
+from repro.workloads.batching import RegionPager
 
 ThreadFactory = Callable[[], Iterator]
 
@@ -22,6 +23,13 @@ class Workload(abc.ABC):
 
     #: short name used in experiment tables.
     name: str = "workload"
+    #: when True, op streams attach page ids so a page table can resolve
+    #: (and migrate) their data; False keeps the legacy static-shard ops.
+    paged: bool = False
+
+    def pager_for(self, thread_id: int) -> Optional[RegionPager]:
+        """A per-thread pager when paging is on, else None (legacy ops)."""
+        return RegionPager(thread_id) if self.paged else None
 
     @abc.abstractmethod
     def thread_factories(self, num_threads: int, num_dimms: int) -> List[ThreadFactory]:

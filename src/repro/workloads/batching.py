@@ -9,14 +9,17 @@ preserving the per-DIMM traffic volumes that determine IDC behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.dram.address import PAGE_BYTES, page_id
 from repro.workloads.ops import Read, Write
 
 #: default coalescing granularity for remote batches (DL packet-friendly).
 DEFAULT_CHUNK = 4096
 #: address stride between successive batches of one thread (spreads rows).
 OFFSET_STRIDE = 1 << 14
+#: pages per (thread, dimm) region before a RegionPager wraps around.
+REGION_PAGES = 256
 
 
 class OffsetCursor:
@@ -30,6 +33,42 @@ class OffsetCursor:
         offset = self._next
         self._next = (self._next + max(nbytes, 64) + OFFSET_STRIDE) % (1 << 30)
         return offset - offset % 64
+
+
+class RegionPager:
+    """Assigns stable page ids to a thread's batched traffic.
+
+    :class:`OffsetCursor` offsets roll forward and never repeat, so they
+    cannot serve as page identities — migration policies need the *same*
+    page to be touched again on later iterations.  A RegionPager models
+    each thread's working set as a fixed window of ``region_pages`` pages
+    per statically-sharded DIMM: successive chunks walk the window and
+    :meth:`rewind` (called at the top of each kernel iteration) restarts
+    the walk, so iteration ``k+1`` re-touches iteration ``k``'s pages.
+
+    Page ids carry the static home DIMM (see ``dram.address.page_id``),
+    so resolving them through a static-policy page table reproduces the
+    legacy shard exactly.
+    """
+
+    def __init__(self, thread_id: int, region_pages: int = REGION_PAGES) -> None:
+        if region_pages <= 0:
+            raise ValueError(f"region_pages {region_pages} must be positive")
+        self.thread_id = thread_id
+        self.region_pages = region_pages
+        self._positions: Dict[int, int] = {}
+
+    def rewind(self) -> None:
+        """Restart every per-DIMM walk (call once per kernel iteration)."""
+        self._positions.clear()
+
+    def page_for(self, dimm: int, nbytes: int) -> int:
+        """Page id for the next chunk of ``nbytes`` homed on ``dimm``."""
+        position = self._positions.get(dimm, 0)
+        pages = max(1, (nbytes + PAGE_BYTES - 1) // PAGE_BYTES)
+        self._positions[dimm] = position + pages
+        index = self.thread_id * self.region_pages + position % self.region_pages
+        return page_id(dimm, index)
 
 
 def chunked(
@@ -53,17 +92,25 @@ def batched_reads(
     per_dimm_bytes: Dict[int, int],
     cursor: OffsetCursor,
     chunk: int = DEFAULT_CHUNK,
+    pager: Optional[RegionPager] = None,
 ) -> Iterator[Read]:
-    """Yield chunked Read ops covering the per-DIMM byte counts."""
+    """Yield chunked Read ops covering the per-DIMM byte counts.
+
+    With a ``pager`` each op also carries a page id; offsets and chunk
+    order are identical either way.
+    """
     for dimm, nbytes in chunked(per_dimm_bytes, chunk):
-        yield Read(dimm=dimm, offset=cursor.take(nbytes), nbytes=nbytes)
+        page = pager.page_for(dimm, nbytes) if pager is not None else None
+        yield Read(dimm=dimm, offset=cursor.take(nbytes), nbytes=nbytes, page=page)
 
 
 def batched_writes(
     per_dimm_bytes: Dict[int, int],
     cursor: OffsetCursor,
     chunk: int = DEFAULT_CHUNK,
+    pager: Optional[RegionPager] = None,
 ) -> Iterator[Write]:
     """Yield chunked Write ops covering the per-DIMM byte counts."""
     for dimm, nbytes in chunked(per_dimm_bytes, chunk):
-        yield Write(dimm=dimm, offset=cursor.take(nbytes), nbytes=nbytes)
+        page = pager.page_for(dimm, nbytes) if pager is not None else None
+        yield Write(dimm=dimm, offset=cursor.take(nbytes), nbytes=nbytes, page=page)

@@ -58,7 +58,10 @@ class BFS(GraphKernel):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     for level in range(max_level):
+                        if pager is not None:
+                            pager.rewind()
                         active = int(frontier[level, thread_id])
                         share = active / block_vertices if block_vertices else 0.0
                         edges_scanned = int(block_edges * share)
@@ -69,16 +72,21 @@ class BFS(GraphKernel):
                         if edges_scanned:
                             # stream this level's CSR slice from the home DIMM
                             yield from batched_reads(
-                                {home: edges_scanned * EDGE_BYTES}, cursor, chunk=4096
+                                {home: edges_scanned * EDGE_BYTES},
+                                cursor,
+                                chunk=4096,
+                                pager=pager,
                             )
                             # gather neighbor levels from their owners
                             yield from batched_reads(
-                                self.spread_bytes(edges_to_dimm, scale=share), cursor
+                                self.spread_bytes(edges_to_dimm, scale=share),
+                                cursor,
+                                pager=pager,
                             )
                         discovered = int(frontier[level + 1, thread_id])
                         if discovered:
                             yield from batched_writes(
-                                {home: discovered * STATE_BYTES}, cursor
+                                {home: discovered * STATE_BYTES}, cursor, pager=pager
                             )
                         yield Barrier()
 

@@ -9,11 +9,19 @@ Generation is deterministic per seed.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 from repro.errors import WorkloadError
+
+#: in-RAM generator cap: beyond this the edge list itself is the problem;
+#: use :func:`rmat_stream` / :class:`StreamedRMAT` instead.
+RMAT_MAX_SCALE = 24
+#: streaming generator sanity cap (vertex ids stay well inside int64).
+RMAT_STREAM_MAX_SCALE = 34
+#: edges generated per streaming batch (bounds peak memory).
+DEFAULT_STREAM_BATCH = 1 << 18
 
 
 class Graph:
@@ -85,25 +93,18 @@ def rmat(
     partitioning does); ``permute=True`` scatters ids for worst-case
     locality studies.
     """
-    if scale <= 0 or scale > 24:
-        raise WorkloadError(f"rmat scale {scale} outside (0, 24]")
+    if scale <= 0 or scale > RMAT_MAX_SCALE:
+        raise WorkloadError(
+            f"rmat scale {scale} outside (0, {RMAT_MAX_SCALE}] for the "
+            "in-RAM generator; use rmat_stream / StreamedRMAT for larger graphs"
+        )
     if edge_factor <= 0:
         raise WorkloadError("edge_factor must be positive")
-    d = 1.0 - a - b - c
-    if d < 0:
-        raise WorkloadError("rmat probabilities exceed 1")
+    _validate_rmat_probs(a, b, c)
     n = 1 << scale
     m = n * edge_factor
     rng = np.random.default_rng(seed)
-    src = np.zeros(m, dtype=np.int64)
-    dst = np.zeros(m, dtype=np.int64)
-    for bit in range(scale):
-        r = rng.random(m)
-        # quadrant choice per Chakrabarti et al.
-        src_bit = r >= (a + b)
-        dst_bit = ((r >= a) & (r < a + b)) | (r >= (a + b + c))
-        src |= src_bit.astype(np.int64) << bit
-        dst |= dst_bit.astype(np.int64) << bit
+    src, dst = _rmat_quadrants(rng, m, scale, a, b, c)
     if permute:
         perm = rng.permutation(n)
         src, dst = perm[src], perm[dst]
@@ -112,6 +113,149 @@ def rmat(
     if undirected:
         src, dst = np.concatenate((src, dst)), np.concatenate((dst, src))
     return from_edges(n, src, dst)
+
+
+def _validate_rmat_probs(a: float, b: float, c: float) -> None:
+    if 1.0 - a - b - c < 0:
+        raise WorkloadError("rmat probabilities exceed 1")
+
+
+def _rmat_quadrants(
+    rng: np.random.Generator, count: int, scale: int, a: float, b: float, c: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` R-MAT edges (quadrant choice per Chakrabarti et al.).
+
+    Consumes exactly ``scale`` draws of ``rng.random(count)`` — shared by
+    the in-RAM and streaming generators so a single-batch stream emits
+    the identical edge list as :func:`rmat`.
+    """
+    src = np.zeros(count, dtype=np.int64)
+    dst = np.zeros(count, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(count)
+        src_bit = r >= (a + b)
+        dst_bit = ((r >= a) & (r < a + b)) | (r >= (a + b + c))
+        src |= src_bit.astype(np.int64) << bit
+        dst |= dst_bit.astype(np.int64) << bit
+    return src, dst
+
+
+def rmat_stream(
+    scale: int,
+    edge_factor: int = 8,
+    seed: int = 42,
+    a: float = 0.65,
+    b: float = 0.15,
+    c: float = 0.15,
+    undirected: bool = True,
+    batch_edges: int = DEFAULT_STREAM_BATCH,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Stream R-MAT edges in bounded batches, never materializing the list.
+
+    Yields ``(src, dst)`` array pairs of at most ``2 * batch_edges``
+    edges (undirected doubles each batch).  Deterministic for a given
+    ``(seed, batch_edges)``; with ``batch_edges >= n * edge_factor`` the
+    concatenated output equals :func:`rmat`'s pre-dedup edge list.
+    Unlike the in-RAM path, parallel edges are *not* deduplicated —
+    streamed degree counts are a (tight, power-law-preserving) upper
+    bound on the CSR degrees.
+    """
+    if scale <= 0 or scale > RMAT_STREAM_MAX_SCALE:
+        raise WorkloadError(
+            f"rmat_stream scale {scale} outside (0, {RMAT_STREAM_MAX_SCALE}]"
+        )
+    if edge_factor <= 0:
+        raise WorkloadError("edge_factor must be positive")
+    if batch_edges <= 0:
+        raise WorkloadError("batch_edges must be positive")
+    _validate_rmat_probs(a, b, c)
+    n = 1 << scale
+    remaining = n * edge_factor
+    rng = np.random.default_rng(seed)
+    while remaining > 0:
+        count = min(batch_edges, remaining)
+        remaining -= count
+        src, dst = _rmat_quadrants(rng, count, scale, a, b, c)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if undirected:
+            src, dst = np.concatenate((src, dst)), np.concatenate((dst, src))
+        if len(src):
+            yield src, dst
+
+
+class StreamedRMAT:
+    """Degree/partition statistics of an R-MAT graph in O(V) memory.
+
+    Exposes the subset of the :class:`Graph` surface the layout pipeline
+    needs (``num_vertices``, ``num_edges``, ``indptr``) by re-streaming
+    the deterministic edge generator: one pass accumulates out-degrees
+    (so ``edge_balanced_bounds`` / ``grouped_edge_balanced_bounds`` work
+    unchanged), and :meth:`cross_partition` makes a second pass to build
+    the block-crossing matrix.  The edge list itself never exists in
+    RAM — peak footprint is a few ``batch_edges``-long scratch arrays
+    plus the V-long degree array, which is what lets ``--size large``
+    reach millions of vertices.
+    """
+
+    def __init__(
+        self,
+        scale: int,
+        edge_factor: int = 8,
+        seed: int = 42,
+        a: float = 0.65,
+        b: float = 0.15,
+        c: float = 0.15,
+        undirected: bool = True,
+        batch_edges: int = DEFAULT_STREAM_BATCH,
+    ) -> None:
+        self.scale = scale
+        self.edge_factor = edge_factor
+        self.seed = seed
+        self.a, self.b, self.c = a, b, c
+        self.undirected = undirected
+        self.batch_edges = batch_edges
+        self.num_vertices = 1 << scale
+        degrees = np.zeros(self.num_vertices, dtype=np.int64)
+        for src, _dst in self._stream():
+            degrees += np.bincount(src, minlength=self.num_vertices)
+        self.degrees = degrees
+        self.num_edges = int(degrees.sum())
+        self.indptr = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+
+    def _stream(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        return rmat_stream(
+            self.scale,
+            self.edge_factor,
+            self.seed,
+            self.a,
+            self.b,
+            self.c,
+            self.undirected,
+            self.batch_edges,
+        )
+
+    def cross_partition(self, bounds: np.ndarray, parts: "int | None" = None) -> np.ndarray:
+        """``parts x parts`` edge-crossing matrix for block ``bounds``."""
+        bounds = np.asarray(bounds)
+        if parts is None:
+            parts = len(bounds) - 1
+        matrix = np.zeros((parts, parts), dtype=np.int64)
+        for src, dst in self._stream():
+            src_part = np.clip(
+                np.searchsorted(bounds, src, side="right") - 1, 0, parts - 1
+            )
+            dst_part = np.clip(
+                np.searchsorted(bounds, dst, side="right") - 1, 0, parts - 1
+            )
+            np.add.at(matrix, (src_part, dst_part), 1)
+        return matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamedRMAT(V={self.num_vertices}, E={self.num_edges}, "
+            f"scale={self.scale})"
+        )
 
 
 def bisection_refine(graph: Graph, rounds: int = 4) -> Graph:

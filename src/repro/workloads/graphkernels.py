@@ -20,6 +20,7 @@ from repro.errors import WorkloadError
 from repro.workloads.base import Workload
 from repro.workloads.graph import (
     Graph,
+    StreamedRMAT,
     bisection_refine,
     cross_partition_edges,
     grouped_edge_balanced_bounds,
@@ -52,13 +53,27 @@ class GraphKernel(Workload):
         edge_factor: int = 8,
         seed: int = 42,
         byte_scale: int = 1,
+        streaming: bool = False,
     ) -> None:
         if byte_scale <= 0:
             raise WorkloadError("byte_scale must be positive")
-        self.graph = graph if graph is not None else rmat(scale, edge_factor, seed)
-        # partition the input before distributing it (the METIS step the
-        # paper's LiveJournal runs imply): minimise group-crossing edges
-        self.graph = bisection_refine(self.graph)
+        if streaming:
+            # LiveJournal-scale mode: the edge list never exists in RAM;
+            # layout statistics come from re-streaming the deterministic
+            # generator (see StreamedRMAT).  Bisection refinement needs
+            # the in-RAM CSR, so streamed graphs keep quadrant order —
+            # R-MAT's recursive quadrants already encode the community
+            # structure the refinement would recover.
+            if graph is not None:
+                raise WorkloadError("streaming mode generates its own graph")
+            self.graph = None
+            self._stream_args = (scale, edge_factor, seed)
+            self._stream: Optional[StreamedRMAT] = None
+        else:
+            self.graph = graph if graph is not None else rmat(scale, edge_factor, seed)
+            # partition the input before distributing it (the METIS step the
+            # paper's LiveJournal runs imply): minimise group-crossing edges
+            self.graph = bisection_refine(self.graph)
         #: traffic multiplier: the kernel moves the byte volumes of a graph
         #: ``byte_scale`` x larger, using this graph's edge *distribution*.
         #: Bridges the gap between simulable graph sizes and the paper's
@@ -66,19 +81,30 @@ class GraphKernel(Workload):
         self.byte_scale = byte_scale
         self._cache: Dict[tuple, dict] = {}
 
+    def _graph_stats(self):
+        """The in-RAM Graph, or the streamed degree/partition statistics."""
+        if self.graph is not None:
+            return self.graph
+        if self._stream is None:
+            self._stream = StreamedRMAT(*self._stream_args)
+        return self._stream
+
     def _layout(self, num_threads: int, num_dimms: int) -> dict:
         """Per-(block, dimm) edge counts and per-block sizes (cached)."""
         key = (num_threads, num_dimms)
         layout = self._cache.get(key)
         if layout is not None:
             return layout
-        graph = self.graph
+        graph = self._graph_stats()
         if num_threads > graph.num_vertices:
             raise WorkloadError(
                 f"{self.name}: more threads ({num_threads}) than vertices"
             )
         bounds = grouped_edge_balanced_bounds(graph, num_threads)
-        block_matrix = cross_partition_edges(graph, num_threads, bounds)
+        if self.graph is not None:
+            block_matrix = cross_partition_edges(graph, num_threads, bounds)
+        else:
+            block_matrix = graph.cross_partition(np.asarray(bounds), num_threads)
         dimm_of_block = np.array(
             [data_dimm(b, num_threads, num_dimms) for b in range(num_threads)]
         )
@@ -101,6 +127,11 @@ class GraphKernel(Workload):
 
     def bfs_levels(self, source: int = 0) -> np.ndarray:
         """Level of every vertex reached from ``source`` (-1 if unreached)."""
+        if self.graph is None:
+            raise WorkloadError(
+                f"{self.name}: exact BFS levels need the in-RAM graph; "
+                "streaming layouts only carry degree statistics"
+            )
         graph = self.graph
         levels = np.full(graph.num_vertices, -1, dtype=np.int64)
         levels[source] = 0

@@ -57,22 +57,27 @@ class Hotspot(Workload):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     cells = strip_rows * self.cols
                     for _iteration in range(self.iterations):
+                        if pager is not None:
+                            pager.rewind()
                         # halo rows from the neighboring strips
                         halo = {}
                         for neighbor in (up, down):
                             if neighbor is not None:
                                 halo[neighbor] = halo.get(neighbor, 0) + row_bytes
                         if halo:
-                            yield from batched_reads(halo, cursor, chunk=4096)
+                            yield from batched_reads(
+                                halo, cursor, chunk=4096, pager=pager
+                            )
                         # stream temperature + power of the strip
                         yield from batched_reads(
-                            {home: 2 * cells * CELL_BYTES}, cursor, chunk=8192
+                            {home: 2 * cells * CELL_BYTES}, cursor, chunk=8192, pager=pager
                         )
                         yield Compute(CYCLES_PER_CELL * cells)
                         yield from batched_writes(
-                            {home: cells * CELL_BYTES}, cursor, chunk=8192
+                            {home: cells * CELL_BYTES}, cursor, chunk=8192, pager=pager
                         )
                         yield Barrier()
 

@@ -9,6 +9,7 @@ one workload implementation serves every system in the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -20,20 +21,33 @@ class Compute:
 
 @dataclass(frozen=True)
 class Read:
-    """Read ``nbytes`` at ``offset`` within DIMM ``dimm``'s address space."""
+    """Read ``nbytes`` at ``offset`` within DIMM ``dimm``'s address space.
+
+    ``dimm`` is the *static* home (the loader's block shard).  When
+    ``page`` is set and the executing system carries a page table, the
+    access is resolved through the table instead — the page's current
+    owner may differ from ``dimm`` after migration.  With ``page`` unset
+    (or no page table installed) the access goes to ``dimm`` exactly as
+    before the placement refactor.
+    """
 
     dimm: int
     offset: int
     nbytes: int
+    page: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class Write:
-    """Write ``nbytes`` at ``offset`` within DIMM ``dimm``'s address space."""
+    """Write ``nbytes`` at ``offset`` within DIMM ``dimm``'s address space.
+
+    ``page`` has the same semantics as on :class:`Read`.
+    """
 
     dimm: int
     offset: int
     nbytes: int
+    page: Optional[int] = None
 
 
 @dataclass(frozen=True)

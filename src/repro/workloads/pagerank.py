@@ -44,22 +44,28 @@ class PageRank(GraphKernel):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     for _iteration in range(self.iterations):
+                        if pager is not None:
+                            pager.rewind()
                         yield Compute(
                             CYCLES_PER_EDGE * block_edges
                             + CYCLES_PER_VERTEX * block_vertices
                         )
                         # stream the CSR slice from the home DIMM
                         yield from batched_reads(
-                            {home: block_edges * EDGE_BYTES}, cursor, chunk=4096
+                            {home: block_edges * EDGE_BYTES},
+                            cursor,
+                            chunk=4096,
+                            pager=pager,
                         )
                         # gather neighbor ranks from their owners
                         yield from batched_reads(
-                            self.spread_bytes(edges_to_dimm), cursor
+                            self.spread_bytes(edges_to_dimm), cursor, pager=pager
                         )
                         # write the block's new ranks
                         yield from batched_writes(
-                            {home: block_vertices * STATE_BYTES}, cursor
+                            {home: block_vertices * STATE_BYTES}, cursor, pager=pager
                         )
                         yield Barrier()
 
@@ -91,7 +97,10 @@ class PageRankBC(GraphKernel):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     for _iteration in range(self.iterations):
+                        if pager is not None:
+                            pager.rewind()
                         # publish this block's ranks to every DIMM
                         yield Broadcast(
                             offset=cursor.take(block_vertices * STATE_BYTES),
@@ -105,13 +114,14 @@ class PageRankBC(GraphKernel):
                             },
                             cursor,
                             chunk=4096,
+                            pager=pager,
                         )
                         yield Compute(
                             CYCLES_PER_EDGE * block_edges
                             + CYCLES_PER_VERTEX * block_vertices
                         )
                         yield from batched_writes(
-                            {home: block_vertices * STATE_BYTES}, cursor
+                            {home: block_vertices * STATE_BYTES}, cursor, pager=pager
                         )
                         yield Barrier()
 

@@ -42,18 +42,24 @@ class SpMV(GraphKernel):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     for _iteration in range(self.iterations):
+                        if pager is not None:
+                            pager.rewind()
                         yield from batched_reads(
-                            {home: nonzeros * EDGE_BYTES}, cursor, chunk=4096
+                            {home: nonzeros * EDGE_BYTES},
+                            cursor,
+                            chunk=4096,
+                            pager=pager,
                         )
                         yield from batched_reads(
-                            self.spread_bytes(edges_to_dimm), cursor
+                            self.spread_bytes(edges_to_dimm), cursor, pager=pager
                         )
                         yield Compute(
                             CYCLES_PER_NONZERO * nonzeros + CYCLES_PER_ROW * rows
                         )
                         yield from batched_writes(
-                            {home: rows * STATE_BYTES}, cursor
+                            {home: rows * STATE_BYTES}, cursor, pager=pager
                         )
                         yield Barrier()
 
@@ -85,7 +91,10 @@ class SpMVBC(GraphKernel):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     for _iteration in range(self.iterations):
+                        if pager is not None:
+                            pager.rewind()
                         # publish this block of x to every DIMM
                         yield Broadcast(
                             offset=cursor.take(rows * STATE_BYTES),
@@ -96,11 +105,14 @@ class SpMVBC(GraphKernel):
                             {home: nonzeros * (EDGE_BYTES + STATE_BYTES)},
                             cursor,
                             chunk=4096,
+                            pager=pager,
                         )
                         yield Compute(
                             CYCLES_PER_NONZERO * nonzeros + CYCLES_PER_ROW * rows
                         )
-                        yield from batched_writes({home: rows * STATE_BYTES}, cursor)
+                        yield from batched_writes(
+                            {home: rows * STATE_BYTES}, cursor, pager=pager
+                        )
                         yield Barrier()
 
                 return gen()

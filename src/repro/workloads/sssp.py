@@ -45,22 +45,30 @@ class SSSP(GraphKernel):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     for round_index in range(self.rounds):
+                        if pager is not None:
+                            pager.rewind()
                         improve = IMPROVE_BASE * (IMPROVE_DECAY ** round_index)
                         yield Compute(
                             CYCLES_PER_EDGE * block_edges
                             + CYCLES_PER_VERTEX * block_vertices
                         )
                         yield from batched_reads(
-                            {home: block_edges * EDGE_BYTES}, cursor, chunk=4096
+                            {home: block_edges * EDGE_BYTES},
+                            cursor,
+                            chunk=4096,
+                            pager=pager,
                         )
                         # read current neighbor distances
                         yield from batched_reads(
-                            self.spread_bytes(edges_to_dimm), cursor
+                            self.spread_bytes(edges_to_dimm), cursor, pager=pager
                         )
                         # push improved distances to the owners
                         yield from batched_writes(
-                            self.spread_bytes(edges_to_dimm, scale=improve), cursor
+                            self.spread_bytes(edges_to_dimm, scale=improve),
+                            cursor,
+                            pager=pager,
                         )
                         yield Barrier()
 
@@ -92,13 +100,19 @@ class SSSPBC(GraphKernel):
             def factory() -> Iterator:
                 def gen():
                     cursor = OffsetCursor(thread_id)
+                    pager = self.pager_for(thread_id)
                     for round_index in range(self.rounds):
+                        if pager is not None:
+                            pager.rewind()
                         improve = IMPROVE_BASE * (IMPROVE_DECAY ** round_index)
                         updated = max(64, int(block_vertices * STATE_BYTES * improve))
                         yield Broadcast(offset=cursor.take(updated), nbytes=updated)
                         yield Barrier()
                         yield from batched_reads(
-                            {home: block_edges * EDGE_BYTES}, cursor, chunk=4096
+                            {home: block_edges * EDGE_BYTES},
+                            cursor,
+                            chunk=4096,
+                            pager=pager,
                         )
                         yield Compute(
                             CYCLES_PER_EDGE * block_edges

@@ -1,0 +1,203 @@
+"""Tests for the page codec and the page table / placement policies."""
+
+import pytest
+
+from repro.dram.address import (
+    PAGE_BYTES,
+    page_home,
+    page_id,
+    page_index,
+    page_of,
+    page_offset,
+)
+from repro.errors import ConfigError
+from repro.experiments.runner import RunSpec, execute_spec
+from repro.mapping.pagetable import (
+    DATA_PLACEMENTS,
+    MAX_MIGRATIONS_PER_PAGE,
+    NEXT_TOUCH_THRESHOLD,
+    FirstTouchPolicy,
+    NextTouchPolicy,
+    PageTable,
+    ProfiledPolicy,
+    StaticPolicy,
+    make_policy,
+)
+
+
+# -- page codec ----------------------------------------------------------------------
+
+
+def test_page_codec_roundtrip():
+    for dimm in (0, 3, 31):
+        for index in (0, 1, 255, 1 << 20):
+            page = page_id(dimm, index)
+            assert page_home(page) == dimm
+            assert page_index(page) == index
+
+
+def test_page_of_matches_page_id():
+    assert page_of(2, 5 * PAGE_BYTES) == page_id(2, 5)
+    assert page_of(2, 5 * PAGE_BYTES + 100) == page_id(2, 5)
+
+
+def test_page_offset_is_local_byte_offset():
+    page = page_id(3, 7)
+    assert page_offset(page) == 7 * PAGE_BYTES
+
+
+def test_page_codec_rejects_out_of_range():
+    with pytest.raises(ConfigError):
+        page_id(32, 0)  # dimm beyond 5 bits
+    with pytest.raises(ConfigError):
+        page_id(-1, 0)
+    with pytest.raises(ConfigError):
+        page_id(0, -1)
+    with pytest.raises(ConfigError):
+        page_home(-1)
+
+
+# -- policies ------------------------------------------------------------------------
+
+
+def test_static_policy_places_at_home_and_never_migrates():
+    table = PageTable(StaticPolicy(), num_dimms=4)
+    page = page_id(2, 0)
+    owner, migration = table.resolve(page, toucher=0)
+    assert owner == 2 and migration is None
+    for _ in range(10):
+        owner, migration = table.resolve(page, toucher=0)
+        assert owner == 2 and migration is None
+    assert table.migrations == 0
+    assert table.migrated_bytes == 0
+
+
+def test_first_touch_owns_at_first_toucher():
+    table = PageTable(FirstTouchPolicy(), num_dimms=4)
+    page = page_id(2, 0)
+    owner, migration = table.resolve(page, toucher=1)
+    assert owner == 1 and migration is None
+    # later touchers see the first-touch owner, no movement
+    owner, migration = table.resolve(page, toucher=3)
+    assert owner == 1 and migration is None
+    assert table.migrations == 0
+
+
+def test_next_touch_migrates_after_threshold():
+    table = PageTable(NextTouchPolicy(threshold=2), num_dimms=4)
+    page = page_id(0, 0)
+    owner, migration = table.resolve(page, toucher=1)
+    assert owner == 0 and migration is None  # streak 1 < threshold
+    owner, migration = table.resolve(page, toucher=1)
+    assert owner == 1 and migration == (0, 1)  # streak 2 -> move
+    assert table.migrations == 1
+    assert table.migrated_bytes == PAGE_BYTES
+
+
+def test_next_touch_streak_resets_on_owner_touch():
+    table = PageTable(NextTouchPolicy(threshold=2), num_dimms=4)
+    page = page_id(0, 0)
+    table.resolve(page, toucher=1)  # remote streak 1
+    table.resolve(page, toucher=0)  # owner touch clears the streak
+    owner, migration = table.resolve(page, toucher=1)  # streak restarts at 1
+    assert owner == 0 and migration is None
+    assert table.migrations == 0
+
+
+def test_next_touch_streak_resets_on_different_remote_toucher():
+    table = PageTable(NextTouchPolicy(threshold=2), num_dimms=4)
+    page = page_id(0, 0)
+    table.resolve(page, toucher=1)
+    owner, migration = table.resolve(page, toucher=2)  # new toucher: streak 1
+    assert owner == 0 and migration is None
+
+
+def test_next_touch_migration_cap_bounds_ping_pong():
+    table = PageTable(NextTouchPolicy(threshold=1, max_migrations=3), num_dimms=4)
+    page = page_id(0, 0)
+    # two DIMMs alternate touching the shared page; threshold=1 would
+    # migrate forever without the cap
+    for i in range(20):
+        table.resolve(page, toucher=1 + (i % 2))
+    assert table.migrations == 3
+    assert table.migrated_bytes == 3 * PAGE_BYTES
+
+
+def test_profiled_policy_uses_assignment_with_home_fallback():
+    assigned = page_id(0, 0)
+    unassigned = page_id(3, 1)
+    table = PageTable(ProfiledPolicy({assigned: 2}), num_dimms=4)
+    owner, _ = table.resolve(assigned, toucher=1)
+    assert owner == 2
+    owner, _ = table.resolve(unassigned, toucher=1)
+    assert owner == 3  # static home fallback
+    assert table.migrations == 0
+
+
+def test_counters_track_touches():
+    table = PageTable(StaticPolicy(), num_dimms=4)
+    page = page_id(1, 0)
+    table.resolve(page, toucher=1)  # local
+    table.resolve(page, toucher=0)  # remote
+    table.resolve(page, toucher=2)  # remote
+    assert table.touches == 3
+    assert table.remote_touches == 2
+
+
+def test_make_policy_covers_every_name():
+    for name in DATA_PLACEMENTS:
+        assignment = {} if name == "profiled" else None
+        assert make_policy(name, assignment).name == name
+
+
+def test_make_policy_rejects_unknowns_and_bad_args():
+    with pytest.raises(ConfigError):
+        make_policy("round_robin")
+    with pytest.raises(ConfigError):
+        make_policy("profiled")  # needs an assignment
+    with pytest.raises(ConfigError):
+        NextTouchPolicy(threshold=0)
+    with pytest.raises(ConfigError):
+        NextTouchPolicy(max_migrations=0)
+
+
+def test_table_rejects_bad_touchers_and_dimm_counts():
+    with pytest.raises(ConfigError):
+        PageTable(StaticPolicy(), num_dimms=0)
+    table = PageTable(StaticPolicy(), num_dimms=4)
+    with pytest.raises(ConfigError):
+        table.resolve(page_id(0, 0), toucher=4)
+
+
+def test_defaults_match_documented_constants():
+    policy = NextTouchPolicy()
+    assert policy.threshold == NEXT_TOUCH_THRESHOLD == 2
+    assert policy.max_migrations == MAX_MIGRATIONS_PER_PAGE == 4
+
+
+# -- integration: migrations appear in run stats -------------------------------------
+
+
+def _hotpage_spec(policy: str) -> RunSpec:
+    return RunSpec(
+        config="4D-2C",
+        workload="hotpage",
+        size="tiny",
+        mechanism="mcn",
+        data_placement=policy,
+    )
+
+
+def test_next_touch_run_charges_migrations():
+    result = execute_spec(_hotpage_spec("next_touch"))
+    migrations = result.stats.sum_suffix("placement.migrations")
+    migrated = result.stats.sum_suffix("placement.migrated_bytes")
+    assert migrations > 0
+    assert migrated == migrations * PAGE_BYTES
+    assert result.stats.sum_suffix("placement.migration_ps") > 0
+
+
+def test_static_run_never_migrates():
+    result = execute_spec(_hotpage_spec("static"))
+    assert result.stats.sum_suffix("placement.migrations") == 0
+    assert result.stats.sum_suffix("placement.migrated_bytes") == 0

@@ -1,0 +1,120 @@
+"""Edge-case tests for the MCMF placement solver and the co-optimization
+loop: tight capacity, zero-traffic threads, single-DIMM systems."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import MappingError
+from repro.mapping.placement import (
+    co_optimized_placement,
+    cost_table,
+    distance_matrix,
+    solve_placement,
+)
+from repro.mapping.profile import profile_page_traffic
+from repro.workloads.hotpage import HotPage
+
+
+# -- capacity-tight MCMF -------------------------------------------------------------
+
+
+def test_exact_capacity_fill_places_every_thread():
+    # 8 threads, 4 DIMMs, 2 per DIMM: zero slack, every slot must fill
+    rng = np.random.default_rng(5)
+    costs = rng.random((8, 4))
+    placement = solve_placement(costs, threads_per_dimm=2)
+    assert len(placement) == 8
+    counts = np.bincount(placement, minlength=4)
+    assert np.array_equal(counts, [2, 2, 2, 2])
+
+
+def test_over_capacity_is_infeasible():
+    with pytest.raises(MappingError):
+        solve_placement(np.ones((9, 4)), threads_per_dimm=2)
+
+
+def test_tight_capacity_still_minimizes_cost():
+    # each thread strongly prefers one DIMM; with capacity 1 the solver
+    # must recover the (unique) zero-cost perfect matching
+    costs = np.full((4, 4), 10.0)
+    preference = [2, 0, 3, 1]
+    for thread, dimm in enumerate(preference):
+        costs[thread, dimm] = 0.0
+    assert solve_placement(costs, threads_per_dimm=1) == preference
+
+
+# -- zero-traffic threads ------------------------------------------------------------
+
+
+def test_zero_traffic_threads_get_valid_slots():
+    costs = np.zeros((6, 4))  # no traffic anywhere: any placement is optimal
+    costs[0] = [0.0, 5.0, 5.0, 5.0]  # one thread with real traffic
+    placement = solve_placement(costs, threads_per_dimm=2)
+    assert placement[0] == 0
+    assert all(0 <= d < 4 for d in placement)
+    assert max(np.bincount(placement, minlength=4)) <= 2
+
+
+def test_zero_traffic_table_costs_are_zero():
+    traffic = np.zeros((4, 4))
+    config = SystemConfig.named("4D-2C")
+    costs = cost_table(traffic, distance_matrix(config))
+    assert costs.shape == (4, 4)
+    assert np.all(costs == 0.0)
+
+
+# -- single-DIMM degenerate ----------------------------------------------------------
+
+
+def test_single_dimm_takes_all_threads():
+    costs = np.zeros((3, 1))
+    assert solve_placement(costs, threads_per_dimm=3) == [0, 0, 0]
+
+
+def test_single_dimm_with_too_little_capacity_is_infeasible():
+    with pytest.raises(MappingError):
+        solve_placement(np.zeros((3, 1)), threads_per_dimm=2)
+
+
+# -- the co-optimization loop --------------------------------------------------------
+
+
+def _factories(config):
+    workload = HotPage(rounds=2, private_pages=4, shared_pages=1)
+    workload.paged = True
+    threads = config.num_dimms * config.nmp.cores_per_dimm
+    return workload.thread_factories(threads, config.num_dimms)
+
+
+def test_co_optimized_placement_reaches_a_fixed_point():
+    config = SystemConfig.named("4D-2C")
+    factories = _factories(config)
+    placement, assignment, rounds = co_optimized_placement(factories, config)
+    per_dimm = config.nmp.cores_per_dimm
+    assert 1 <= rounds <= 4
+    assert len(placement) == len(factories)
+    assert max(np.bincount(placement, minlength=config.num_dimms)) <= per_dimm
+    assert assignment, "profiling saw paged ops but assigned no pages"
+    assert all(0 <= d < config.num_dimms for d in assignment.values())
+    # the fixed point really is fixed: one more profile+solve changes nothing
+    traffic, touches = profile_page_traffic(
+        factories, config.num_dimms, placement, assignment
+    )
+    again = solve_placement(
+        cost_table(traffic, distance_matrix(config)), per_dimm
+    )
+    assert again == placement
+
+
+def test_co_optimized_placement_is_deterministic():
+    config = SystemConfig.named("4D-2C")
+    first = co_optimized_placement(_factories(config), config)
+    second = co_optimized_placement(_factories(config), config)
+    assert first == second
+
+
+def test_co_optimized_placement_rejects_bad_rounds():
+    config = SystemConfig.named("4D-2C")
+    with pytest.raises(MappingError):
+        co_optimized_placement(_factories(config), config, max_rounds=0)

@@ -95,6 +95,7 @@ def test_key_changes_on_every_spec_field():
         "placement_seed": 8,
         "fault_fraction": 0.5,
         "params": "n=60",
+        "data_placement": "next_touch",
     }
     # every declared field has a variant above: extending RunSpec without
     # extending this table fails here, not as a silent stale-cache bug
